@@ -1,0 +1,167 @@
+// Command upcreport reduces raw µPC histograms (written by vaxsim) into
+// the paper's tables — the "additional interpretation of the raw histogram
+// data" of §2.2. Multiple histograms are summed into a composite, as the
+// paper does for its five workloads.
+//
+// Usage:
+//
+//	upcreport hist1.upc [hist2.upc ...]
+//	upcreport -table 8 composite.upc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/report"
+	"vax780/internal/ucode"
+	"vax780/internal/vax"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 1,2,3,5,7,8,9 or all")
+	hot := flag.Int("hot", 0, "also print the N hottest control-store locations")
+	csmap := flag.Bool("map", false, "print the control-store map (microcode listing) and exit")
+	flag.Parse()
+	if *csmap {
+		fmt.Print(cpu.CS.Listing())
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "upcreport: need at least one histogram file")
+		os.Exit(1)
+	}
+	comp := &core.Histogram{}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		h, err := core.LoadHistogram(f)
+		f.Close()
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		comp.Add(h)
+	}
+	r := core.Reduce(comp, cpu.CS)
+	w := os.Stdout
+
+	show := func(n string) bool { return *table == "all" || *table == n }
+
+	fmt.Fprintf(w, "Composite of %d histogram(s): %d instructions, %d cycles, CPI %.3f\n\n",
+		flag.NArg(), r.Instructions, r.Cycles, r.CPI())
+
+	if show("1") {
+		var rows [][]string
+		for g := vax.Group(0); g < vax.NumGroups; g++ {
+			rows = append(rows, []string{g.String(), report.Pct(100 * r.GroupFreq(g))})
+		}
+		report.Table(w, "Table 1: Opcode Group Frequency (percent)", []string{"group", "freq"}, rows)
+	}
+	if show("2") {
+		var rows [][]string
+		for c := vax.PCClass(1); c < vax.NumPCClasses; c++ {
+			st := r.PCClasses[c]
+			if st.Entries == 0 {
+				continue
+			}
+			rows = append(rows, []string{c.String(),
+				report.Pct(100 * float64(st.Entries) / float64(r.Instructions)),
+				report.Pct(st.PctTaken())})
+		}
+		report.Table(w, "Table 2: PC-Changing Instructions", []string{"type", "% of all", "% taken"}, rows)
+	}
+	if show("3") {
+		s1, s26, bd := r.SpecsPerInstr()
+		report.Table(w, "Table 3: Specifiers per Average Instruction",
+			[]string{"object", "per instr"}, [][]string{
+				{"First specifiers", report.F(s1, 3)},
+				{"Other specifiers", report.F(s26, 3)},
+				{"Branch displacements", report.F(bd, 3)},
+			})
+	}
+	if show("5") {
+		var rows [][]string
+		for _, row := range r.MemOps {
+			rows = append(rows, []string{row.Label, report.F(row.Reads, 3), report.F(row.Writes, 3)})
+		}
+		report.Table(w, "Table 5: Reads and Writes per Average Instruction",
+			[]string{"source", "reads", "writes"}, rows)
+	}
+	if show("7") {
+		h := r.Headway
+		report.Table(w, "Table 7: Event Headway (instructions)",
+			[]string{"event", "headway"}, [][]string{
+				{"Software interrupt requests", report.F(h.SoftIntHeadway(), 0)},
+				{"HW and SW interrupts", report.F(h.InterruptHeadway(), 0)},
+				{"Context switches", report.F(h.CtxSwitchHeadway(), 0)},
+			})
+	}
+	if show("8") {
+		var rows [][]string
+		for row := ucode.Row(0); row < ucode.NumRows; row++ {
+			c := r.Timing[row]
+			rows = append(rows, []string{row.String(),
+				report.F(c.Compute, 3), report.F(c.Read, 3), report.F(c.RStall, 3),
+				report.F(c.Write, 3), report.F(c.WStall, 3), report.F(c.IBStall, 3),
+				report.F(c.Total(), 3)})
+		}
+		t := r.TimingTotal
+		rows = append(rows, []string{"TOTAL",
+			report.F(t.Compute, 3), report.F(t.Read, 3), report.F(t.RStall, 3),
+			report.F(t.Write, 3), report.F(t.WStall, 3), report.F(t.IBStall, 3),
+			report.F(t.Total(), 3)})
+		report.Table(w, "Table 8: Average VAX Instruction Timing (cycles per instruction)",
+			[]string{"row", "compute", "read", "r-stall", "write", "w-stall", "ib-stall", "total"}, rows)
+	}
+	if show("9") {
+		var rows [][]string
+		for g := vax.Group(0); g < vax.NumGroups; g++ {
+			c := r.WithinGroup(g)
+			rows = append(rows, []string{g.String(),
+				report.F(c.Compute, 2), report.F(c.Read, 2), report.F(c.RStall, 2),
+				report.F(c.Write, 2), report.F(c.WStall, 2), report.F(c.Total(), 2)})
+		}
+		report.Table(w, "Table 9: Cycles per Instruction Within Each Group",
+			[]string{"group", "compute", "read", "r-stall", "write", "w-stall", "total"}, rows)
+	}
+	if show("8") {
+		// A bar view of where the time goes (rows of Table 8).
+		fmt.Fprintln(w, "Time distribution (cycles per instruction by row):")
+		for row := ucode.Row(0); row < ucode.NumRows; row++ {
+			total := r.Timing[row].Total()
+			bar := int(total * 8)
+			if bar > 64 {
+				bar = 64
+			}
+			fmt.Fprintf(w, "  %-11v %6.3f %s\n", row, total, strings.Repeat("#", bar))
+		}
+		fmt.Fprintln(w)
+	}
+	if *hot > 0 {
+		var rows [][]string
+		for _, s := range core.HotSpots(comp, cpu.CS, *hot) {
+			rows = append(rows, []string{
+				s.Name, s.Row.String(), s.Class.String(),
+				fmt.Sprintf("%d", s.Execs), fmt.Sprintf("%d", s.Stalls),
+				fmt.Sprintf("%.2f%%", 100*s.Share),
+			})
+		}
+		report.Table(w, fmt.Sprintf("Hottest %d control-store locations", *hot),
+			[]string{"location", "row", "class", "execs", "stalls", "share"}, rows)
+	}
+	if !strings.Contains("1 2 3 5 7 8 9 all", *table) {
+		fmt.Fprintf(os.Stderr, "upcreport: unknown table %q\n", *table)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "upcreport: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command vaxasm assembles the project's VAX assembly dialect and prints a
+// listing or writes a flat binary image.
+//
+// Usage:
+//
+//	vaxasm [-org 0x1000] [-o image.bin] [-listing] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"vax780/internal/asm"
+)
+
+func main() {
+	org := flag.String("org", "0x1000", "assembly origin")
+	out := flag.String("o", "", "write the flat image to this file")
+	listing := flag.Bool("listing", false, "print a disassembly listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "vaxasm: need exactly one source file")
+		os.Exit(1)
+	}
+	origin, err := strconv.ParseUint(*org, 0, 32)
+	if err != nil {
+		fatalf("bad -org: %v", err)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	im, err := asm.Assemble(uint32(origin), string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "vaxasm: %d bytes at %#x, %d symbols\n", len(im.Bytes), im.Org, len(im.Labels))
+	if *listing {
+		fmt.Print(asm.Listing(im))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, im.Bytes, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vaxasm: "+format+"\n", args...)
+	os.Exit(1)
+}

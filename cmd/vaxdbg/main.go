@@ -1,0 +1,59 @@
+// Command vaxdbg loads a program into a bare machine and opens the
+// operator's console: stepping, breakpoints, register and memory
+// examination, disassembly, and live histogram summaries.
+//
+// Usage:
+//
+//	vaxdbg prog.s
+//	echo "b 1006
+//	c
+//	r
+//	q" | vaxdbg prog.s       # scripted session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vax780/internal/asm"
+	"vax780/internal/console"
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/vax"
+)
+
+func main() {
+	org := flag.Uint64("org", 0x1000, "load address")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "vaxdbg: need one assembly source file")
+		os.Exit(1)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	im, err := asm.Assemble(uint32(*org), string(src))
+	if err != nil {
+		fatalf("assemble: %v", err)
+	}
+	m := cpu.New(cpu.Config{MemBytes: 1 << 20})
+	mon := core.NewMonitor()
+	mon.Start()
+	m.AttachProbe(mon)
+	m.Mem.Load(im.Org, im.Bytes)
+	m.R[vax.SP] = 0x8000
+	m.SetPC(im.Org)
+
+	fmt.Fprintf(os.Stderr, "vaxdbg: %d bytes at %#x; type ? for help\n", len(im.Bytes), im.Org)
+	c := console.New(m, mon, os.Stdout)
+	if err := c.Run(os.Stdin); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vaxdbg: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command vaxrepro runs the full reproduction: the five-workload composite
+// measured by the µPC histogram monitor, reduced into every table and
+// figure of Emer & Clark (ISCA 1984) and compared against the published
+// numbers.
+//
+// Usage:
+//
+//	vaxrepro [-cycles N] [-only T8] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/experiments"
+	"vax780/internal/report"
+	"vax780/internal/vax"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 8_000_000, "cycles to run per workload (five workloads total)")
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. T8, F1, S4.2)")
+	summary := flag.Bool("summary", false, "print only the pass/fail summary")
+	perWorkload := flag.Bool("per-workload", false, "also print per-workload variation (the paper reports only the composite)")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "measuring composite: 5 workloads x %d cycles (%.1f simulated seconds)...\n",
+		*cycles, float64(*cycles*5)*float64(cpu.CycleNanoseconds)/1e9)
+	ctx, err := experiments.NewContext(*cycles, cpu.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaxrepro:", err)
+		os.Exit(1)
+	}
+	outs := experiments.RunAll(ctx)
+	for _, o := range outs {
+		if *only != "" && !strings.EqualFold(o.ID, *only) {
+			continue
+		}
+		if !*summary {
+			fmt.Printf("==== %s: %s ====\n\n%s\n", o.ID, o.Title, o.Text)
+		}
+	}
+	if *perWorkload {
+		var rows [][]string
+		for _, run := range ctx.Comp.Runs {
+			r := core.Reduce(run.Hist, cpu.CS)
+			rows = append(rows, []string{
+				run.Profile.Name,
+				fmt.Sprintf("%d", r.Instructions),
+				fmt.Sprintf("%.2f", r.CPI()),
+				fmt.Sprintf("%.1f%%", 100*r.GroupFreq(vax.GroupSimple)),
+				fmt.Sprintf("%.1f%%", 100*r.GroupFreq(vax.GroupFloat)),
+				fmt.Sprintf("%.2f%%", 100*r.GroupFreq(vax.GroupCharacter)),
+				fmt.Sprintf("%.3f", r.TBMiss.PerInstr(r.Instructions)),
+			})
+		}
+		report.Table(os.Stdout, "Per-workload variation (not published in the paper; composite above)",
+			[]string{"workload", "instructions", "CPI", "simple", "float", "char", "tb-miss/instr"}, rows)
+	}
+	fmt.Println(experiments.Summary(outs))
+}

@@ -1,0 +1,101 @@
+// Command vaxsim runs one workload (or a user program) on the simulated
+// VAX-11/780 under the µPC histogram monitor and writes the raw histogram
+// to a file for later reduction with upcreport — the paper's two-step
+// measure-then-interpret flow (§2.2).
+//
+// Usage:
+//
+//	vaxsim -workload rte-commercial -cycles 5000000 -o hist.upc
+//	vaxsim -program prog.s -cycles 1000000 -o hist.upc
+//	vaxsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vax780/internal/asm"
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/vax"
+	"vax780/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "workload profile to run (see -list)")
+	prog := flag.String("program", "", "assembly source file to run bare (no OS)")
+	cycles := flag.Uint64("cycles", 5_000_000, "cycle budget")
+	out := flag.String("o", "hist.upc", "output histogram file")
+	list := flag.Bool("list", false, "list workload profiles")
+	stats := flag.Bool("stats", false, "print the hardware statistics report")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.All() {
+			fmt.Printf("%-24s %-18s %2d users, %d processes\n", p.Name, p.Kind, p.Users, p.Procs)
+		}
+		return
+	}
+
+	var hist *core.Histogram
+	switch {
+	case *wl != "":
+		p, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown workload %q (try -list)", *wl)
+		}
+		res, err := workload.Run(p, *cycles, cpu.Config{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		hist = res.Hist
+		fmt.Fprintf(os.Stderr, "vaxsim: %s: %d instructions, %d cycles (%.2f CPI)\n",
+			p.Name, res.Instructions, res.Cycles, float64(res.Cycles)/float64(res.Instructions))
+		_ = stats // the workload path reports via upcreport; -stats applies to -program
+	case *prog != "":
+		src, err := os.ReadFile(*prog)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		im, err := asm.Assemble(0x1000, string(src))
+		if err != nil {
+			fatalf("assemble: %v", err)
+		}
+		m := cpu.New(cpu.Config{MemBytes: 1 << 20})
+		mon := core.NewMonitor()
+		mon.Start()
+		m.AttachProbe(mon)
+		m.Mem.Load(im.Org, im.Bytes)
+		m.R[vax.SP] = 0x8000
+		m.SetPC(im.Org)
+		res := m.Run(*cycles)
+		if res.Err != nil {
+			fatalf("run: %v", res.Err)
+		}
+		hist = mon.Snapshot()
+		fmt.Fprintf(os.Stderr, "vaxsim: %s: %d instructions, %d cycles (halted=%v)\n",
+			*prog, res.Instructions, res.Cycles, res.Halted)
+		if *stats {
+			fmt.Fprint(os.Stderr, m.StatsReport())
+		}
+	default:
+		fatalf("need -workload or -program (or -list)")
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := hist.Save(f); err != nil {
+		fatalf("saving histogram: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "vaxsim: histogram written to %s (%d classified cycles)\n",
+		*out, hist.TotalCycles())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vaxsim: "+format+"\n", args...)
+	os.Exit(1)
+}

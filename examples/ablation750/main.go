@@ -1,0 +1,58 @@
+// Ablation750: §5 of the paper reads Table 8 as a map of "where 11/780
+// performance may be improved": the non-overlapped decode cycle ("the
+// later VAX model 11/750 did [overlap] this"), the one-longword write
+// buffer, and the 6-cycle miss penalty. This example measures a workload
+// on the stock 780 and on three hypothetical machines, showing each
+// column move the way the paper predicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/workload"
+)
+
+func measure(name string, cfg cpu.Config) *core.Report {
+	res, err := workload.Run(workload.TimesharingCPUDev, 2_500_000, cfg)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return core.Reduce(res.Hist, cpu.CS)
+}
+
+func main() {
+	fmt.Println("measuring four machines on the cpu-development timesharing load...")
+	base := measure("11/780", cpu.Config{})
+	overlap := measure("overlapped decode", cpu.Config{DecodeOverlap: true})
+	deepWB := measure("4-longword write buffer", cpu.Config{WriteBufferDepth: 4})
+	taggedTB := measure("tagged TB", cpu.Config{NoTBFlushOnSwitch: true})
+
+	fmt.Printf("\n%-26s %7s %9s %9s %9s\n", "machine", "CPI", "w-stall", "r-stall", "ib-stall")
+	row := func(name string, r *core.Report) {
+		t := r.TimingTotal
+		fmt.Printf("%-26s %7.3f %9.3f %9.3f %9.3f\n", name, r.CPI(), t.WStall, t.RStall, t.IBStall)
+	}
+	row("VAX-11/780 (stock)", base)
+	row("+ overlapped decode", overlap)
+	row("+ 4-longword write buffer", deepWB)
+	row("+ address-space-tagged TB", taggedTB)
+
+	fmt.Printf("\nthe paper's §5 predictions, observed:\n")
+	fmt.Printf("  overlapped decode saves %.2f CPI (~1 cycle x %.0f%% non-PC-changing instructions)\n",
+		base.CPI()-overlap.CPI(), 100*(1-pcChangingShare(base)))
+	fmt.Printf("  deeper write buffer removes %.0f%% of write stall\n",
+		100*(1-deepWB.TimingTotal.WStall/base.TimingTotal.WStall))
+	fmt.Printf("  tagged TB saves %.2f CPI of flush-refill work\n",
+		base.CPI()-taggedTB.CPI())
+}
+
+func pcChangingShare(r *core.Report) float64 {
+	var taken uint64
+	for _, st := range r.PCClasses {
+		taken += st.Taken
+	}
+	return float64(taken) / float64(r.Instructions)
+}

@@ -1,0 +1,53 @@
+// Commercial: characterize the RTE transaction-processing workload (32
+// simulated users doing database inquiries and updates) and demonstrate
+// the paper's observation that rare, complex instructions — decimal and
+// character strings, procedure calls — claim a disproportionate share of
+// processor time, while 80-90% of executions are SIMPLE but cheap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/ucode"
+	"vax780/internal/vax"
+	"vax780/internal/workload"
+)
+
+func main() {
+	p := workload.RTECommercial
+	fmt.Printf("measuring %q (%s, %d simulated users)...\n", p.Name, p.Kind, p.Users)
+
+	res, err := workload.Run(p, 4_000_000, cpu.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := core.Reduce(res.Hist, cpu.CS)
+
+	fmt.Printf("\n%-10s %10s %14s\n", "group", "% of execs", "% of exec time")
+	var execTime float64
+	rows := []ucode.Row{ucode.RowSimple, ucode.RowField, ucode.RowFloat, ucode.RowCallRet,
+		ucode.RowSystem, ucode.RowCharacter, ucode.RowDecimal}
+	for _, row := range rows {
+		execTime += r.Timing[row].Total()
+	}
+	for g := vax.Group(0); g < vax.NumGroups; g++ {
+		share := r.WithinGroup(g).Total() * r.GroupFreq(g) / execTime
+		fmt.Printf("%-10v %9.2f%% %13.2f%%\n", g, 100*r.GroupFreq(g), 100*share)
+	}
+
+	fmt.Printf("\nterminal I/O through the kernel: %d system-service requests\n",
+		r.Groups[vax.GroupSystem])
+	s1, s26, _ := r.SpecsPerInstr()
+	fmt.Printf("operand specifiers: %.2f per instruction; average instruction %.1f bytes\n",
+		s1+s26, r.EstInstrBytes())
+	var mr, mw float64
+	for _, row := range r.MemOps {
+		mr += row.Reads
+		mw += row.Writes
+	}
+	fmt.Printf("memory traffic: %.2f reads and %.2f writes per instruction (%.1f:1)\n",
+		mr, mw, mr/mw)
+}

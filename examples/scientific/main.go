@@ -1,0 +1,50 @@
+// Scientific: characterize the RTE scientific workload (40 simulated users
+// running floating-point computation and program development) and report
+// the within-group costs of Table 9 — including the two-orders-of-
+// magnitude spread between SIMPLE and the string/decimal groups that the
+// paper highlights in §5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/vax"
+	"vax780/internal/workload"
+)
+
+func main() {
+	p := workload.RTEScientific
+	fmt.Printf("measuring %q (%s, %d simulated users)...\n", p.Name, p.Kind, p.Users)
+
+	res, err := workload.Run(p, 4_000_000, cpu.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := core.Reduce(res.Hist, cpu.CS)
+
+	fmt.Printf("\ninstruction mix (Table 1 style):\n")
+	for g := vax.Group(0); g < vax.NumGroups; g++ {
+		fmt.Printf("  %-10v %6.2f%%\n", g, 100*r.GroupFreq(g))
+	}
+
+	fmt.Printf("\ncycles per average instruction WITHIN each group (Table 9):\n")
+	fmt.Printf("  %-10s %8s %7s %7s %8s\n", "group", "compute", "reads", "writes", "total")
+	for g := vax.Group(0); g < vax.NumGroups; g++ {
+		c := r.WithinGroup(g)
+		if r.Groups[g] == 0 {
+			continue
+		}
+		fmt.Printf("  %-10v %8.2f %7.2f %7.2f %8.2f\n", g, c.Compute, c.Read, c.Write, c.Total())
+	}
+	simple := r.WithinGroup(vax.GroupSimple).Total()
+	char := r.WithinGroup(vax.GroupCharacter).Total()
+	if simple > 0 && char > 0 {
+		fmt.Printf("\nspread: an average CHARACTER instruction costs %.0fx an average SIMPLE one\n", char/simple)
+	}
+	fmt.Printf("floating point is %.1f%% of instructions but %.1f%% of execute-phase time\n",
+		100*r.GroupFreq(vax.GroupFloat),
+		100*r.WithinGroup(vax.GroupFloat).Total()*r.GroupFreq(vax.GroupFloat)/r.CPI())
+}

@@ -1,0 +1,46 @@
+// Timesharing: measure a live-timesharing-style workload (the paper's
+// research-machine load: editing, program development, mail) on the full
+// stack — VMS-like kernel, scheduler, terminals — and print the central
+// Table 8 timing matrix for it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/ucode"
+	"vax780/internal/workload"
+)
+
+func main() {
+	p := workload.TimesharingResearch
+	fmt.Printf("measuring %q (%s, %d simulated users, %d processes)...\n",
+		p.Name, p.Kind, p.Users, p.Procs)
+
+	res, err := workload.Run(p, 4_000_000, cpu.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := core.Reduce(res.Hist, cpu.CS)
+
+	fmt.Printf("\n%d measured instructions, CPI %.2f (paper: 10.6)\n\n", r.Instructions, r.CPI())
+	fmt.Println("Average VAX instruction timing (cycles per instruction):")
+	fmt.Printf("%-12s %8s %7s %8s %7s %8s %8s %8s\n",
+		"row", "compute", "read", "r-stall", "write", "w-stall", "ib-stall", "total")
+	for row := ucode.Row(0); row < ucode.NumRows; row++ {
+		c := r.Timing[row]
+		fmt.Printf("%-12v %8.3f %7.3f %8.3f %7.3f %8.3f %8.3f %8.3f\n",
+			row, c.Compute, c.Read, c.RStall, c.Write, c.WStall, c.IBStall, c.Total())
+	}
+	t := r.TimingTotal
+	fmt.Printf("%-12s %8.3f %7.3f %8.3f %7.3f %8.3f %8.3f %8.3f\n",
+		"TOTAL", t.Compute, t.Read, t.RStall, t.Write, t.WStall, t.IBStall, t.Total())
+
+	fmt.Printf("\noperating-system visibility (Table 7):\n")
+	fmt.Printf("  interrupts every %.0f instructions, context switch every %.0f\n",
+		r.Headway.InterruptHeadway(), r.Headway.CtxSwitchHeadway())
+	fmt.Printf("  TB misses: %.3f per instruction, %.1f cycles each\n",
+		r.TBMiss.PerInstr(r.Instructions), r.TBMiss.CyclesPerMiss())
+}

@@ -1,0 +1,3 @@
+module vax780
+
+go 1.22

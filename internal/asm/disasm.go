@@ -1,0 +1,62 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"vax780/internal/vax"
+)
+
+// DisasmOne disassembles the instruction at offset off within code (which
+// is loaded at origin org) and returns its text and encoded size.
+func DisasmOne(code []byte, org, off uint32) (string, int, error) {
+	in, err := vax.Decode(code[off:])
+	if err != nil {
+		return "", 0, err
+	}
+	var sb strings.Builder
+	sb.WriteString(in.Info.Name)
+	for i, s := range in.Specs {
+		if i == 0 {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(s.String())
+	}
+	if in.Info.BranchDisp != vax.TypeNone {
+		target := org + off + uint32(in.Size) + uint32(in.Disp)
+		if len(in.Specs) > 0 {
+			sb.WriteString(", ")
+		} else {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%#x", target)
+	}
+	return sb.String(), in.Size, nil
+}
+
+// Listing disassembles an image into an address-annotated listing. It stops
+// at the first undecodable byte (data regions are not distinguished from
+// code in a flat image).
+func Listing(im *Image) string {
+	var sb strings.Builder
+	byAddr := make(map[uint32][]string)
+	for name, addr := range im.Labels {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	off := uint32(0)
+	for off < uint32(len(im.Bytes)) {
+		for _, l := range byAddr[im.Org+off] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		text, n, err := DisasmOne(im.Bytes, im.Org, off)
+		if err != nil {
+			fmt.Fprintf(&sb, "%08x:  .byte %#02x ; %v\n", im.Org+off, im.Bytes[off], err)
+			return sb.String()
+		}
+		fmt.Fprintf(&sb, "%08x:  %s\n", im.Org+off, text)
+		off += uint32(n)
+	}
+	return sb.String()
+}

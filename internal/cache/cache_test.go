@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.Read(0x1000, DStream) {
+		t.Error("cold read should miss")
+	}
+	if !c.Read(0x1000, DStream) {
+		t.Error("second read should hit")
+	}
+	if !c.Read(0x1004, DStream) {
+		t.Error("same 8-byte block should hit")
+	}
+	if c.Read(0x1008, DStream) {
+		t.Error("next block should miss")
+	}
+	st := c.Stats()
+	if st.ReadHits[DStream] != 2 || st.ReadMisses[DStream] != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTwoWayLRUReplacement(t *testing.T) {
+	c := New(DefaultConfig())
+	// Three blocks mapping to the same set: set index covers 512 sets of
+	// 8-byte blocks, so addresses 4096*k apart share a set.
+	stride := uint32(c.Config().SizeBytes / c.Config().Ways)
+	a, b, d := uint32(0x100), 0x100+stride, 0x100+2*stride
+	c.Read(a, DStream)
+	c.Read(b, DStream)
+	c.Read(a, DStream) // a is now MRU
+	c.Read(d, DStream) // evicts b
+	if !c.Probe(a) {
+		t.Error("a should survive (MRU)")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.Write(0x2000) {
+		t.Error("write miss should report miss")
+	}
+	if c.Probe(0x2000) {
+		t.Error("write miss must not allocate")
+	}
+	c.Read(0x2000, DStream)
+	if !c.Write(0x2000) {
+		t.Error("write to resident block should hit")
+	}
+	if !c.Probe(0x2000) {
+		t.Error("write hit must keep block resident")
+	}
+	st := c.Stats()
+	if st.WriteHits != 1 || st.WriteMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Read(0x100, IStream)
+	c.Flush()
+	if c.Probe(0x100) {
+		t.Error("flush should invalidate")
+	}
+	if c.Stats().Flushes != 1 {
+		t.Error("flush not counted")
+	}
+}
+
+func TestStreamsCountedSeparately(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Read(0x100, IStream)
+	c.Read(0x900, DStream)
+	st := c.Stats()
+	if st.ReadMisses[IStream] != 1 || st.ReadMisses[DStream] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MissRatio(IStream) != 1.0 {
+		t.Errorf("I miss ratio = %v", st.MissRatio(IStream))
+	}
+}
+
+func TestMissRatioNoReads(t *testing.T) {
+	c := New(DefaultConfig())
+	if r := c.Stats().MissRatio(DStream); r != 0 {
+		t.Errorf("empty miss ratio = %v", r)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two geometry should panic")
+		}
+	}()
+	New(Config{SizeBytes: 3000, Ways: 2, BlockBytes: 8})
+}
+
+func TestBlockBase(t *testing.T) {
+	c := New(DefaultConfig())
+	if got := c.BlockBase(0x1237); got != 0x1230 {
+		t.Errorf("BlockBase = %#x, want 0x1230", got)
+	}
+}
+
+// Property: after Read(pa), Probe(pa) always hits; working sets no larger
+// than the associativity within one set never miss after warmup.
+func TestPropertyReadThenProbeHits(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(DefaultConfig())
+		for _, a := range addrs {
+			a &= 0x7FFFFF
+			c.Read(a, DStream)
+			if !c.Probe(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit ratio of a small looping working set approaches 1.
+func TestSmallWorkingSetHitsAfterWarmup(t *testing.T) {
+	c := New(DefaultConfig())
+	r := rand.New(rand.NewSource(1))
+	ws := make([]uint32, 64)
+	for i := range ws {
+		ws[i] = uint32(r.Intn(2048)) &^ 3
+	}
+	for pass := 0; pass < 10; pass++ {
+		for _, a := range ws {
+			c.Read(a, DStream)
+		}
+	}
+	st := c.Stats()
+	if ratio := st.MissRatio(DStream); ratio > 0.15 {
+		t.Errorf("small working set miss ratio = %v, want < 0.15", ratio)
+	}
+}
+
+// Property: total references conserved across hits/misses.
+func TestPropertyReferenceConservation(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c := New(DefaultConfig())
+		var reads, wr int
+		for i, a := range addrs {
+			if i < len(writes) && writes[i] {
+				c.Write(uint32(a))
+				wr++
+			} else {
+				c.Read(uint32(a), DStream)
+				reads++
+			}
+		}
+		st := c.Stats()
+		return st.Reads(DStream) == uint64(reads) &&
+			st.WriteHits+st.WriteMisses == uint64(wr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

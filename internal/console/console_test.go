@@ -1,0 +1,159 @@
+package console
+
+import (
+	"strings"
+	"testing"
+
+	"vax780/internal/asm"
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/vax"
+)
+
+func testMachine(t *testing.T, src string) (*cpu.Machine, *core.Monitor, *asm.Image) {
+	t.Helper()
+	im, err := asm.Assemble(0x1000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.New(cpu.Config{MemBytes: 1 << 20})
+	mon := core.NewMonitor()
+	mon.Start()
+	m.AttachProbe(mon)
+	m.Mem.Load(im.Org, im.Bytes)
+	m.R[vax.SP] = 0x8000
+	m.SetPC(im.Org)
+	return m, mon, im
+}
+
+const dbgProgram = `
+	MOVL	#5, R1
+loop:	ADDL2	#2, R2
+	SOBGTR	R1, loop
+target:	MOVL	#0x1234, R3
+	HALT
+`
+
+func TestStepAndRegs(t *testing.T) {
+	m, mon, _ := testMachine(t, dbgProgram)
+	var out strings.Builder
+	c := New(m, mon, &out)
+	c.Exec("s")
+	if m.Instructions() != 1 {
+		t.Errorf("instret = %d after one step", m.Instructions())
+	}
+	c.Exec("s 2")
+	if m.Instructions() != 3 {
+		t.Errorf("instret = %d after three steps", m.Instructions())
+	}
+	out.Reset()
+	c.Exec("r")
+	s := out.String()
+	if !strings.Contains(s, "R1") || !strings.Contains(s, "PSL") || !strings.Contains(s, "cc=") {
+		t.Errorf("regs output incomplete:\n%s", s)
+	}
+}
+
+func TestBreakpoint(t *testing.T) {
+	m, mon, im := testMachine(t, dbgProgram)
+	var out strings.Builder
+	c := New(m, mon, &out)
+	target := im.MustAddr("target")
+	c.Exec("b " + hex(target))
+	c.Exec("c")
+	if m.PCVal() != target {
+		t.Errorf("stopped at %#x, want breakpoint %#x", m.PCVal(), target)
+	}
+	if m.Halted() {
+		t.Error("should have stopped at the breakpoint, not HALT")
+	}
+	if !strings.Contains(out.String(), "break at") {
+		t.Error("breakpoint hit not reported")
+	}
+	// Continue to completion after deleting the breakpoint.
+	c.Exec("bd " + hex(target))
+	c.Exec("c")
+	if !m.Halted() {
+		t.Error("did not reach HALT")
+	}
+	if m.R[3] != 0x1234 {
+		t.Errorf("R3 = %#x", m.R[3])
+	}
+}
+
+func TestExamineAndDisasm(t *testing.T) {
+	m, mon, im := testMachine(t, dbgProgram)
+	var out strings.Builder
+	c := New(m, mon, &out)
+	c.Exec("e 1000 2")
+	if !strings.Contains(out.String(), "00001000:") {
+		t.Errorf("examine output:\n%s", out.String())
+	}
+	out.Reset()
+	c.Exec("d " + hex(im.Org) + " 3")
+	s := out.String()
+	if !strings.Contains(s, "MOVL") || !strings.Contains(s, "ADDL2") || !strings.Contains(s, "SOBGTR") {
+		t.Errorf("disasm output:\n%s", s)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	m, mon, _ := testMachine(t, dbgProgram)
+	var out strings.Builder
+	c := New(m, mon, &out)
+	c.Exec("c")
+	out.Reset()
+	c.Exec("h 3")
+	s := out.String()
+	if !strings.Contains(s, "CPI") || !strings.Contains(s, "decode.ird") {
+		t.Errorf("hist output:\n%s", s)
+	}
+	// Without a monitor the command degrades gracefully.
+	var out2 strings.Builder
+	c2 := New(m, nil, &out2)
+	c2.Exec("h")
+	if !strings.Contains(out2.String(), "no monitor") {
+		t.Error("missing-monitor case not handled")
+	}
+}
+
+func TestScriptedSession(t *testing.T) {
+	m, mon, _ := testMachine(t, dbgProgram)
+	var out strings.Builder
+	c := New(m, mon, &out)
+	script := strings.NewReader("s 3\nr\nbl\nc\nq\nignored-after-quit\n")
+	if err := c.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Error("session should have run to HALT")
+	}
+	if !strings.Contains(out.String(), "halted at cycle") {
+		t.Errorf("missing halt report:\n%s", out.String())
+	}
+}
+
+func TestUnknownCommandAndHelp(t *testing.T) {
+	m, _, _ := testMachine(t, dbgProgram)
+	var out strings.Builder
+	c := New(m, nil, &out)
+	c.Exec("frobnicate")
+	if !strings.Contains(out.String(), "unknown command") {
+		t.Error("unknown command not reported")
+	}
+	out.Reset()
+	c.Exec("?")
+	if !strings.Contains(out.String(), "step") || !strings.Contains(out.String(), "breakpoint") {
+		t.Errorf("help output:\n%s", out.String())
+	}
+}
+
+func hex(v uint32) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		out[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return string(out)
+}

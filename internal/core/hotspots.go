@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sort"
+
+	"vax780/internal/ucode"
+)
+
+// HotSpot is one control-store location's share of processor time — the
+// kind of ad-hoc question the paper says the histogram database answers
+// "simply by doing additional interpretation of the raw histogram data"
+// (§2.2).
+type HotSpot struct {
+	Addr    uint16
+	Name    string
+	Row     ucode.Row
+	Class   ucode.Class
+	Execs   uint64  // non-stalled executions
+	Stalls  uint64  // stalled cycles at this location
+	Cycles  uint64  // Execs + Stalls (classified time)
+	Share   float64 // fraction of all classified cycles
+	PerMiss float64 // average stall per execution (stall behaviour)
+}
+
+// HotSpots returns the top-n control-store locations by total cycles.
+// Marker locations (zero-cycle events) are excluded.
+func HotSpots(h *Histogram, cs *ucode.Store, n int) []HotSpot {
+	var total uint64
+	spots := make([]HotSpot, 0, 64)
+	for _, w := range cs.Words() {
+		if w.Class == ucode.ClassMarker {
+			continue
+		}
+		c := h.Counts[w.Addr]
+		s := h.Stalls[w.Addr]
+		if c == 0 && s == 0 {
+			continue
+		}
+		total += c + s
+		hs := HotSpot{
+			Addr: w.Addr, Name: w.Name, Row: w.Row, Class: w.Class,
+			Execs: c, Stalls: s, Cycles: c + s,
+		}
+		if c > 0 {
+			hs.PerMiss = float64(s) / float64(c)
+		}
+		spots = append(spots, hs)
+	}
+	sort.Slice(spots, func(i, j int) bool {
+		if spots[i].Cycles != spots[j].Cycles {
+			return spots[i].Cycles > spots[j].Cycles
+		}
+		return spots[i].Addr < spots[j].Addr
+	})
+	if n > 0 && len(spots) > n {
+		spots = spots[:n]
+	}
+	for i := range spots {
+		if total > 0 {
+			spots[i].Share = float64(spots[i].Cycles) / float64(total)
+		}
+	}
+	return spots
+}
+
+// StallSpots returns the top-n locations by stalled cycles — where the
+// processor waits.
+func StallSpots(h *Histogram, cs *ucode.Store, n int) []HotSpot {
+	spots := HotSpots(h, cs, 0)
+	sort.Slice(spots, func(i, j int) bool {
+		if spots[i].Stalls != spots[j].Stalls {
+			return spots[i].Stalls > spots[j].Stalls
+		}
+		return spots[i].Addr < spots[j].Addr
+	})
+	if n > 0 && len(spots) > n {
+		spots = spots[:n]
+	}
+	return spots
+}

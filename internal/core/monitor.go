@@ -1,0 +1,136 @@
+// Package core implements the paper's primary contribution: the micro-PC
+// histogram monitor (§2.2) and the data-reduction engine that interprets a
+// raw histogram — using knowledge of the microcode map — into every table
+// of Emer & Clark's VAX-11/780 characterization.
+//
+// The Monitor mirrors the authors' hardware: a 16,000-bucket count board
+// keeping, per control-store location, one count of non-stalled
+// microinstruction executions and one count of read-/write-stalled cycles;
+// IB stall is counted as executions of dedicated dispatch locations. The
+// board is passive (it never perturbs the machine being measured) and is
+// driven by a command interface equivalent to the original's Unibus
+// commands: start, stop, clear, read.
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"vax780/internal/cpu"
+	"vax780/internal/ucode"
+)
+
+// Monitor is the µPC histogram board.
+type Monitor struct {
+	hist      Histogram
+	running   bool
+	overflow  bool
+	maxBucket uint64 // counter capacity; 0 means unbounded
+}
+
+var _ cpu.Probe = (*Monitor)(nil)
+
+// NewMonitor returns a stopped, cleared monitor.
+//
+// The real board's counters had capacity for 1-2 hours of heavy processing
+// (§2.2); pass a nonzero bucket capacity to model that and detect
+// overflow.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// SetCounterCapacity sets the per-bucket counter capacity (0 = unbounded).
+func (mo *Monitor) SetCounterCapacity(max uint64) { mo.maxBucket = max }
+
+// Start begins collection (Unibus "start data collection").
+func (mo *Monitor) Start() { mo.running = true }
+
+// Stop halts collection. Already-collected counts remain readable.
+func (mo *Monitor) Stop() { mo.running = false }
+
+// Running reports whether the board is collecting.
+func (mo *Monitor) Running() bool { return mo.running }
+
+// Clear zeroes all count buckets.
+func (mo *Monitor) Clear() {
+	mo.hist = Histogram{}
+	mo.overflow = false
+}
+
+// Overflowed reports whether any bucket hit the configured capacity.
+func (mo *Monitor) Overflowed() bool { return mo.overflow }
+
+// Count implements cpu.Probe: n executed cycles at a location.
+func (mo *Monitor) Count(upc uint16, n uint64) {
+	if !mo.running {
+		return
+	}
+	mo.hist.Counts[upc] = mo.bump(mo.hist.Counts[upc], n)
+}
+
+// Stall implements cpu.Probe: n stalled cycles at a location.
+func (mo *Monitor) Stall(upc uint16, n uint64) {
+	if !mo.running {
+		return
+	}
+	mo.hist.Stalls[upc] = mo.bump(mo.hist.Stalls[upc], n)
+}
+
+func (mo *Monitor) bump(cur, n uint64) uint64 {
+	v := cur + n
+	if mo.maxBucket != 0 && v >= mo.maxBucket {
+		mo.overflow = true
+		v = mo.maxBucket
+	}
+	return v
+}
+
+// ReadBucket reads one bucket's two counters (Unibus "read").
+func (mo *Monitor) ReadBucket(addr uint16) (count, stall uint64) {
+	return mo.hist.Counts[addr], mo.hist.Stalls[addr]
+}
+
+// Snapshot copies the collected histogram.
+func (mo *Monitor) Snapshot() *Histogram {
+	h := mo.hist
+	return &h
+}
+
+// Histogram is the raw data product of a measurement run: two counters per
+// control-store location. Histograms from separate runs can be summed —
+// the paper reports "the composite of all five, that is, the sum of the
+// five UPC histograms" (§2.2).
+type Histogram struct {
+	Counts [ucode.StoreSize]uint64
+	Stalls [ucode.StoreSize]uint64
+}
+
+// Add accumulates another histogram into h.
+func (h *Histogram) Add(other *Histogram) {
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+		h.Stalls[i] += other.Stalls[i]
+	}
+}
+
+// TotalCycles returns the total classified cycles (executions + stalls).
+func (h *Histogram) TotalCycles() uint64 {
+	var t uint64
+	for i := range h.Counts {
+		t += h.Counts[i] + h.Stalls[i]
+	}
+	return t
+}
+
+// Save writes the histogram in a portable binary form.
+func (h *Histogram) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(h)
+}
+
+// LoadHistogram reads a histogram written by Save.
+func LoadHistogram(r io.Reader) (*Histogram, error) {
+	var h Histogram
+	if err := gob.NewDecoder(r).Decode(&h); err != nil {
+		return nil, fmt.Errorf("core: loading histogram: %w", err)
+	}
+	return &h, nil
+}

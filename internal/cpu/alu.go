@@ -1,0 +1,140 @@
+package cpu
+
+import (
+	"math"
+
+	"vax780/internal/vax"
+)
+
+// Condition-code helpers. The model keeps the architectural N, Z, V, C
+// semantics for the integer operations the workloads rely on.
+
+func (m *Machine) setCC(n, z, v, c bool) {
+	psl := m.PSL &^ (vax.PSLN | vax.PSLZ | vax.PSLV | vax.PSLC)
+	if n {
+		psl |= vax.PSLN
+	}
+	if z {
+		psl |= vax.PSLZ
+	}
+	if v {
+		psl |= vax.PSLV
+	}
+	if c {
+		psl |= vax.PSLC
+	}
+	m.PSL = psl
+}
+
+// ccNZ sets N and Z from a result of the given size, clearing V (the move
+// and logical instructions' behaviour); C is preserved.
+func (m *Machine) ccNZ(val uint64, sz int) {
+	val &= sizeMask(sz)
+	n := val&(1<<(8*uint(sz)-1)) != 0
+	c := m.PSL&vax.PSLC != 0
+	m.setCC(n, val == 0, false, c)
+}
+
+// ccAdd sets condition codes for a+b=r at the given size.
+func (m *Machine) ccAdd(a, b, r uint64, sz int) {
+	mask := sizeMask(sz)
+	sign := uint64(1) << (8*uint(sz) - 1)
+	a, b, r = a&mask, b&mask, r&mask
+	n := r&sign != 0
+	v := (a&sign == b&sign) && (r&sign != a&sign)
+	c := r < a || r < b
+	m.setCC(n, r == 0, v, c)
+}
+
+// ccSub sets condition codes for a-b=r (VAX SUB: C = borrow).
+func (m *Machine) ccSub(a, b, r uint64, sz int) {
+	mask := sizeMask(sz)
+	sign := uint64(1) << (8*uint(sz) - 1)
+	a, b, r = a&mask, b&mask, r&mask
+	n := r&sign != 0
+	v := (a&sign != b&sign) && (r&sign == b&sign)
+	m.setCC(n, r == 0, v, a < b)
+}
+
+// ccCmp sets condition codes for CMP a,b (signed N, unsigned C).
+func (m *Machine) ccCmp(a, b uint64, sz int) {
+	sa := signExtend(a, sz)
+	sb := signExtend(b, sz)
+	n := sa < sb
+	z := a&sizeMask(sz) == b&sizeMask(sz)
+	c := a&sizeMask(sz) < b&sizeMask(sz)
+	m.setCC(n, z, false, c)
+}
+
+func signExtend(v uint64, sz int) int64 {
+	shift := 64 - 8*uint(sz)
+	return int64(v<<shift) >> shift
+}
+
+// branchCond evaluates a conditional branch opcode against the PSL.
+func (m *Machine) branchCond(op vax.Opcode) bool {
+	n := m.PSL&vax.PSLN != 0
+	z := m.PSL&vax.PSLZ != 0
+	v := m.PSL&vax.PSLV != 0
+	c := m.PSL&vax.PSLC != 0
+	switch op {
+	case vax.BRB, vax.BRW:
+		return true
+	case vax.BNEQ:
+		return !z
+	case vax.BEQL:
+		return z
+	case vax.BGTR:
+		return !(n || z)
+	case vax.BLEQ:
+		return n || z
+	case vax.BGEQ:
+		return !n
+	case vax.BLSS:
+		return n
+	case vax.BGTRU:
+		return !(c || z)
+	case vax.BLEQU:
+		return c || z
+	case vax.BVC:
+		return !v
+	case vax.BVS:
+		return v
+	case vax.BCC:
+		return !c
+	case vax.BCS:
+		return c
+	}
+	return false
+}
+
+// Floating-point value encoding. The model stores F_floating as IEEE
+// float32 bits and D_floating as IEEE float64 bits (little-endian), a
+// documented substitution: the paper's measurements depend on operation
+// counts and cycle costs, not on the VAX exponent bias or byte-swizzle.
+
+func f32of(bits uint64) float64  { return float64(math.Float32frombits(uint32(bits))) }
+func f32bits(v float64) uint64   { return uint64(math.Float32bits(float32(v))) }
+func f64of(bits uint64) float64  { return math.Float64frombits(bits) }
+func f64bits(v float64) uint64   { return math.Float64bits(v) }
+
+// fval decodes a floating operand per data type.
+func fval(bits uint64, t vax.DataType) float64 {
+	if t == vax.TypeFloatD {
+		return f64of(bits)
+	}
+	return f32of(bits)
+}
+
+// fbits encodes a floating result per data type.
+func fbits(v float64, t vax.DataType) uint64 {
+	if t == vax.TypeFloatD {
+		return f64bits(v)
+	}
+	return f32bits(v)
+}
+
+// ccFloat sets N and Z from a floating result.
+func (m *Machine) ccFloat(v float64) {
+	m.setCC(v < 0, v == 0, false, false)
+}

@@ -1,0 +1,245 @@
+package cpu
+
+import (
+	"vax780/internal/cache"
+	"vax780/internal/mmu"
+	"vax780/internal/tb"
+)
+
+// ---------------------------------------------------------------------------
+// Functional (untimed) virtual memory access. The timing model books cache
+// and bus activity separately; data always comes from the memory array,
+// which write-through keeps current. Translation here uses the reference
+// page-table walk, independent of TB state.
+
+func (m *Machine) readVirtByte(va uint32) byte {
+	pa, err := mmu.Translate(va, &m.MMU, m.Mem.ReadLong)
+	if err != nil {
+		m.fail("functional read at %#x: %v", va, err)
+		return 0
+	}
+	return m.Mem.Byte(pa)
+}
+
+func (m *Machine) readVirt(va uint32, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.readVirtByte(va+uint32(i))) << (8 * i)
+	}
+	return v
+}
+
+func (m *Machine) writeVirt(va uint32, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		pa, err := mmu.Translate(va+uint32(i), &m.MMU, m.Mem.ReadLong)
+		if err != nil {
+			m.fail("functional write at %#x: %v", va, err)
+			return
+		}
+		m.Mem.SetByte(pa, byte(v>>(8*i)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Timed data-stream access. Each call accounts the cycles of exactly one
+// read- or write-class microinstruction (plus any stall), and services TB
+// misses through the microcode trap routine first.
+
+// xlate translates a D-stream virtual address through the TB, running the
+// TB-miss microtrap when needed.
+func (m *Machine) xlate(va uint32) uint32 {
+	if !m.MMU.Enabled {
+		return va
+	}
+	if pa, hit := m.TLB.Lookup(va, tb.DStream); hit {
+		return pa
+	}
+	m.tbMissService(va, tb.DStream)
+	pa, hit := m.TLB.Lookup(va, tb.DStream)
+	if !hit {
+		m.fail("TB fill did not take at %#x", va)
+	}
+	return pa
+}
+
+// dread performs a D-stream read of size bytes (1..4) at the read-class
+// microword w. Unaligned references crossing a longword boundary make two
+// physical references and run the alignment microcode (counted under
+// Mem Mgmt, as in Table 8).
+func (m *Machine) dread(w uint16, va uint32, size int) uint64 {
+	m.ib.advance(m.cycle)
+	crosses := int(va&3)+size > 4
+	if crosses {
+		m.unalignedOverhead()
+	}
+	pa := m.xlate(va)
+	m.cacheReadRef(w, pa)
+	if crosses {
+		pa2 := m.xlate((va &^ 3) + 4)
+		m.cacheReadRef(w, pa2)
+	}
+	return m.readVirt(va, size)
+}
+
+// cacheReadRef accounts one longword read reference at microword w.
+func (m *Machine) cacheReadRef(w uint16, pa uint32) {
+	if !m.Cache.Read(pa&^3, cache.DStream) {
+		done := m.SBI.Read(m.cycle)
+		if done > m.cycle {
+			m.stall(w, done-m.cycle)
+		}
+	}
+	m.tick(w)
+}
+
+// dwrite performs a D-stream write at the write-class microword w. The
+// EBOX spends one cycle initiating the write and stalls only if the write
+// buffer still holds the previous write (§2.1).
+func (m *Machine) dwrite(w uint16, va uint32, size int, val uint64) {
+	m.ib.advance(m.cycle)
+	crosses := int(va&3)+size > 4
+	if crosses {
+		m.unalignedOverhead()
+	}
+	pa := m.xlate(va)
+	m.cacheWriteRef(w, pa)
+	if crosses {
+		pa2 := m.xlate((va &^ 3) + 4)
+		m.cacheWriteRef(w, pa2)
+	}
+	m.writeVirt(va, size, val)
+}
+
+func (m *Machine) cacheWriteRef(w uint16, pa uint32) {
+	if st := m.WB.Write(m.cycle); st > 0 {
+		m.stall(w, st)
+	}
+	m.Cache.Write(pa &^ 3)
+	m.tick(w)
+}
+
+// readPhys performs a timed physical read (used by the TB-miss routine for
+// page-table entries; its stall cycles are the Mem Mgmt read stalls the
+// paper highlights).
+func (m *Machine) readPhys(w uint16, pa uint32) uint32 {
+	if !m.Cache.Read(pa&^3, cache.DStream) {
+		done := m.SBI.Read(m.cycle)
+		if done > m.cycle {
+			m.stall(w, done-m.cycle)
+		}
+	}
+	m.tick(w)
+	return m.Mem.ReadLong(pa)
+}
+
+// unalignedOverhead runs the alignment microcode (Mem Mgmt row).
+func (m *Machine) unalignedOverhead() {
+	m.tick(uw.mmAlignEntry)
+	m.tick(uw.mmAlignWork)
+	m.unaligned++
+}
+
+// ---------------------------------------------------------------------------
+// TB miss service: a microcode trap. One Abort cycle (the trap itself),
+// then the miss routine walks the page table with real timed reads and
+// inserts the translation. Average cost lands near the paper's 21.6 cycles
+// (§4.2), with the PTE read contributing read-stall inside Mem Mgmt.
+
+func (m *Machine) tbMissService(va uint32, st tb.Stream) {
+	m.tick(uw.abort) // microtrap: one abort cycle
+	entry := uw.mmTBMissEntryD
+	if st == tb.IStream {
+		entry = uw.mmTBMissEntryI
+	}
+	m.tick(entry)
+	// Set-up and probe microcode before touching the page table.
+	m.ticks(uw.mmTBMissWork, 6)
+	ref, err := m.MMU.PTEAddr(va)
+	if err != nil {
+		m.memMgmtFault(va, err)
+		return
+	}
+	pteAddr := ref.Addr
+	if !ref.IsPhys {
+		// The process PTE lives in system space: translate its address,
+		// possibly through the TB, possibly via a nested system-table walk.
+		m.ticks(uw.mmTBMissWork, 2)
+		if pa, hit := m.TLB.Lookup(pteAddr, st); hit {
+			pteAddr = pa
+		} else {
+			sysRef, err := m.MMU.PTEAddr(pteAddr)
+			if err != nil {
+				m.memMgmtFault(va, err)
+				return
+			}
+			m.ticks(uw.mmTBMissWork, 3)
+			sysPTE := m.readPhys(uw.mmTBMissRead, sysRef.Addr)
+			if !mmu.Valid(sysPTE) {
+				m.pageFault(pteAddr)
+				return
+			}
+			m.TLB.Insert(pteAddr, mmu.PFN(sysPTE))
+			pteAddr = mmu.PFN(sysPTE)<<mmu.PageShift | pteAddr&mmu.PageMask
+		}
+	}
+	pte := m.readPhys(uw.mmTBMissRead, pteAddr)
+	m.ticks(uw.mmTBMissWork, 8)
+	if !mmu.Valid(pte) {
+		m.pageFault(va)
+		return
+	}
+	m.TLB.Insert(va, mmu.PFN(pte))
+	m.tick(uw.mmTBMissDone)
+	if m.ib.tbMissPending && m.ib.tbMissVA == va {
+		m.ib.tbMissPending = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Instruction-buffer interaction: each take is a dispatch microinstruction
+// that needs n bytes; waiting for bytes burns cycles at the dedicated
+// IB-stall location stallW.
+
+// ibWait blocks until the IB holds n bytes, servicing I-stream TB misses.
+func (m *Machine) ibWait(n int, stallW uint16) {
+	const guard = 1 << 20
+	for i := 0; ; i++ {
+		if m.halted || m.runErr != nil {
+			return
+		}
+		m.ib.advance(m.cycle)
+		if m.ib.valid >= n {
+			return
+		}
+		if m.ib.tbMissPending {
+			m.tbMissService(m.ib.tbMissVA, tb.IStream)
+			continue
+		}
+		m.ibStallTick(stallW)
+		if i > guard {
+			m.fail("IB wait for %d bytes did not complete at pc %#x", n, m.ib.ptr)
+			return
+		}
+	}
+}
+
+// take consumes n I-stream bytes with a one-cycle dispatch at w.
+func (m *Machine) take(w, stallW uint16, n int) []byte {
+	m.ibWait(n, stallW)
+	if m.runErr != nil {
+		return make([]byte, n)
+	}
+	b := m.ib.consume(n)
+	m.tick(w)
+	return b
+}
+
+// takeExtra consumes n further bytes that arrive with the same dispatch
+// (no additional cycle, but the wait can still IB-stall).
+func (m *Machine) takeExtra(stallW uint16, n int) []byte {
+	m.ibWait(n, stallW)
+	if m.runErr != nil {
+		return make([]byte, n)
+	}
+	return m.ib.consume(n)
+}

@@ -1,0 +1,281 @@
+package cpu
+
+import (
+	"vax780/internal/vax"
+)
+
+// pswIV is the integer overflow trap enable bit of the PSW.
+const pswIV = uint32(1) << 5
+
+// arithIntOvf is the arithmetic-trap type code for integer overflow.
+const arithIntOvf = 1
+
+// execFn is the execute-phase microroutine of one opcode.
+type execFn func(m *Machine)
+
+var execTable [256]execFn
+
+func register(op vax.Opcode, fn execFn) {
+	if execTable[op] != nil {
+		panic("cpu: duplicate exec registration")
+	}
+	execTable[op] = fn
+}
+
+// StepInstruction runs one complete VAX instruction: interrupt check,
+// decode (one non-overlapped cycle), specifier processing, execute phase.
+func (m *Machine) StepInstruction() {
+	if m.halted || m.runErr != nil {
+		return
+	}
+	m.checkInterrupts()
+	if m.halted || m.runErr != nil {
+		return
+	}
+	m.instPC = m.ib.cur()
+
+	// IRD: the first I-Decode of an instruction cannot overlap the
+	// previous instruction, costing one EBOX cycle (§2.1). The
+	// DecodeOverlap ablation models the 11/750's folding of this cycle
+	// into the previous instruction when that instruction did not change
+	// the PC (§5).
+	m.ibWait(1, uw.irdStall)
+	if m.runErr != nil {
+		return
+	}
+	opc := m.ib.consume(1)[0]
+	if !(m.cfg.DecodeOverlap && !m.lastPCChange) {
+		m.tick(uw.ird)
+	} else {
+		// Folded into the previous instruction: counted for instruction
+		// accounting at a marker location, but no cycle is spent.
+		m.tickFree(uw.irdFolded)
+	}
+	info := vax.Lookup(vax.Opcode(opc))
+	if info == nil {
+		m.deliverException(SCBReservedOp, nil)
+		return
+	}
+	m.instr = info
+	m.nops = len(info.Specs)
+	m.lastPCChange = false
+
+	for i, os := range info.Specs {
+		m.runSpecifier(i, os)
+		if m.halted || m.runErr != nil {
+			return
+		}
+	}
+	fn := execTable[info.Code]
+	if fn == nil {
+		m.fail("opcode %s has no execute routine", info.Name)
+		return
+	}
+	fn(m)
+	// Integer overflow traps at instruction end when the PSW IV bit is
+	// set (the architectural arithmetic trap).
+	if m.PSL&pswIV != 0 && m.PSL&vax.PSLV != 0 && !m.halted && m.runErr == nil {
+		m.PSL &^= vax.PSLV
+		m.deliverException(SCBArithTrap, []uint32{arithIntOvf})
+	}
+	// Production microcode carries patches: a patched location costs one
+	// extra Abort-row cycle when crossed (§5).
+	if m.cfg.PatchEvery > 0 {
+		m.patchCtr++
+		if m.patchCtr >= m.cfg.PatchEvery {
+			m.patchCtr = 0
+			m.tick(uw.abort)
+		}
+	}
+	m.instret++
+}
+
+// tickFree counts an execution without spending a cycle (used only by the
+// DecodeOverlap ablation so instruction counting via the IRD location
+// still works).
+func (m *Machine) tickFree(w uint16) {
+	if m.probe != nil && m.gate {
+		m.probe.Count(w, 1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Branch displacement handling.
+
+func (m *Machine) dispSize() int {
+	if m.instr.BranchDisp == vax.TypeWord {
+		return 2
+	}
+	return 1
+}
+
+// takeDisp consumes the branch displacement with the one-cycle B-DISP
+// target calculation and returns the branch target.
+func (m *Machine) takeDisp() uint32 {
+	n := m.dispSize()
+	m.ibWait(n, uw.bdispStall)
+	if m.runErr != nil {
+		return m.ib.cur()
+	}
+	b := m.ib.consume(n)
+	var disp int32
+	if n == 1 {
+		disp = int32(int8(b[0]))
+	} else {
+		disp = int32(int16(uint16(b[0]) | uint16(b[1])<<8))
+	}
+	target := m.ib.cur() + uint32(disp)
+	m.tick(uw.bdisp)
+	return target
+}
+
+// branchTake consumes the displacement, spends the execute-phase redirect
+// cycle at takenWord, and redirects the IB (§5: "an additional cycle is
+// consumed in the execute phase to redirect the IB").
+func (m *Machine) branchTake(takenWord uint16) {
+	target := m.takeDisp()
+	m.redirect(takenWord, target)
+}
+
+// branchSkip passes over the displacement of an untaken branch; the
+// hardware consumes the bytes without a dedicated cycle, which is why the
+// paper sees fewer B-DISP compute cycles than branch displacements.
+func (m *Machine) branchSkip() {
+	m.ib.consumeFree(m.dispSize())
+}
+
+// redirect spends the execute-phase redirect cycle at w and restarts the
+// IB at target (for PC-changing instructions without displacements).
+func (m *Machine) redirect(w uint16, target uint32) {
+	m.tick(w)
+	m.ib.redirect(target)
+	m.lastPCChange = true
+}
+
+// ---------------------------------------------------------------------------
+// Interrupts.
+
+// RaiseIRQ asserts a device interrupt now.
+func (m *Machine) RaiseIRQ(ipl uint8, vector uint16) {
+	m.QueueIRQ(IRQ{At: m.cycle, IPL: ipl, Vector: vector})
+}
+
+func (m *Machine) checkInterrupts() {
+	cur := uint8(m.PSL >> 16 & 0x1F)
+	// Device requests, in assertion order.
+	for m.nextIRQ < len(m.irqs) && m.irqs[m.nextIRQ].At <= m.cycle {
+		q := m.irqs[m.nextIRQ]
+		if q.IPL <= cur {
+			break // blocked until IPL drops; preserves request order
+		}
+		m.nextIRQ++
+		m.deliverIRQ(q.IPL, q.Vector)
+		return
+	}
+	// Software interrupt summary register.
+	sisr := m.ipr[IPRSlotSISR]
+	if sisr != 0 {
+		lvl := uint8(31 - leadingZeros32(sisr))
+		if lvl > cur {
+			m.ipr[IPRSlotSISR] &^= 1 << lvl
+			m.deliverIRQ(lvl, uint16(SCBSoftBase+4*int(lvl)))
+		}
+	}
+}
+
+func leadingZeros32(v uint32) int {
+	n := 0
+	for i := 31; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 32
+}
+
+// deliverIRQ runs the interrupt microcode: save PSL/PC on the kernel
+// stack, fetch the SCB vector, raise IPL, vector to the handler. All
+// cycles land in the Int/Except row.
+func (m *Machine) deliverIRQ(lvl uint8, vec uint16) {
+	m.tick(uw.irqEntry)
+	m.ticks(uw.irqWork, 5)
+	savedPSL := m.PSL
+	savedPC := m.ib.cur()
+	m.setMode(0)
+	m.push32(uw.irqPush, savedPSL)
+	m.push32(uw.irqPush, savedPC)
+	handler := m.readSCB(uw.irqVec, vec)
+	m.PSL = m.PSL&^(0x1F<<16) | uint32(lvl)<<16
+	m.ticks(uw.irqWork, 4)
+	m.ib.redirect(handler)
+	m.lastPCChange = true
+	m.irqDelivered++
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions.
+
+// deliverException pushes PSL, PC and any parameters on the kernel stack
+// and vectors through the SCB.
+func (m *Machine) deliverException(vec int, params []uint32) {
+	if m.inExc {
+		m.fail("nested exception delivering vector %#x", vec)
+		return
+	}
+	m.inExc = true
+	defer func() { m.inExc = false }()
+	m.tick(uw.excEntry)
+	m.ticks(uw.excWork, 3)
+	savedPSL := m.PSL
+	savedPC := m.instPC
+	m.setMode(0)
+	m.push32(uw.excPush, savedPSL)
+	m.push32(uw.excPush, savedPC)
+	for _, p := range params {
+		m.push32(uw.excPush, p)
+	}
+	handler := m.readSCB(uw.excVec, uint16(vec))
+	if m.runErr != nil {
+		return
+	}
+	if handler == 0 {
+		m.fail("unhandled exception: SCB vector %#x empty (pc %#x)", vec, savedPC)
+		return
+	}
+	m.ticks(uw.excWork, 2)
+	m.ib.redirect(handler)
+	m.lastPCChange = true
+	m.exceptions++
+}
+
+func (m *Machine) pageFault(va uint32) {
+	m.deliverException(SCBTransInval, []uint32{va})
+}
+
+func (m *Machine) memMgmtFault(va uint32, err error) {
+	m.deliverException(SCBAccessViol, []uint32{va})
+}
+
+// ---------------------------------------------------------------------------
+// Stack and SCB helpers (timed).
+
+func (m *Machine) push32(w uint16, v uint32) {
+	m.R[vax.SP] -= 4
+	m.dwrite(w, m.R[vax.SP], 4, uint64(v))
+}
+
+func (m *Machine) pop32(w uint16) uint32 {
+	v := uint32(m.dread(w, m.R[vax.SP], 4))
+	m.R[vax.SP] += 4
+	return v
+}
+
+func (m *Machine) readSCB(w uint16, vec uint16) uint32 {
+	scbb := m.ipr[IPRSlotSCBB]
+	if scbb == 0 {
+		m.fail("SCBB not initialised; cannot vector %#x", vec)
+		return 0
+	}
+	return m.readPhys(w, scbb+uint32(vec))
+}

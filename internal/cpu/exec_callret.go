@@ -1,0 +1,126 @@
+package cpu
+
+import "vax780/internal/vax"
+
+// Execute-phase microroutines for the CALL/RET group: the VAX procedure
+// linkage (considerable state saving and restoring on the stack, §3.1) and
+// the multi-register push/pop instructions.
+//
+// Stack frame built by CALLG/CALLS (FP points at the frame base):
+//
+//	FP+0   condition handler (0)
+//	FP+4   saved PSW<15:0> | register mask<27:16> | S bit<29> (CALLS)
+//	FP+8   saved AP
+//	FP+12  saved FP
+//	FP+16  saved PC
+//	FP+20  saved registers, ascending R0..R11 order
+//
+// CALLS additionally pushed the argument count before the frame; RET pops
+// it and removes the arguments when the S bit is set.
+
+func pushMaskRegs(m *Machine, mask uint16) int {
+	n := 0
+	for r := 11; r >= 0; r-- { // descending pushes leave R0 lowest
+		if mask&(1<<uint(r)) != 0 {
+			// The real microcode scans the mask and checks stack limits
+			// between pushes, which also spaces the writes.
+			m.ticks(uw.callWork, 3)
+			m.push32(uw.callPush, m.R[r])
+			n++
+		}
+	}
+	return n
+}
+
+func callCommon(m *Machine, entryAddr uint32, ap uint32, sBit uint32) {
+	// Read the procedure entry mask.
+	mask := uint16(m.dread(uw.callMaskRead, entryAddr, 2))
+	m.ticks(uw.callWork, 6)
+	pushMaskRegs(m, mask&0x0FFF)
+	ret := m.ib.cur()
+	m.push32(uw.callPush, ret)
+	m.ticks(uw.callWork, 2)
+	m.push32(uw.callPush, m.R[vax.FP])
+	m.ticks(uw.callWork, 2)
+	m.push32(uw.callPush, m.R[vax.AP])
+	m.ticks(uw.callWork, 2)
+	m.push32(uw.callPush, uint32(mask&0x0FFF)<<16|sBit<<29|m.PSL&0xFFFF)
+	m.ticks(uw.callWork, 2)
+	m.push32(uw.callPush, 0) // condition handler
+	m.ticks(uw.callWork, 5)
+	m.R[vax.FP] = m.R[vax.SP]
+	m.R[vax.AP] = ap
+	m.PSL &^= vax.PSLN | vax.PSLZ | vax.PSLV | vax.PSLC
+	m.redirect(uw.callTaken, entryAddr+2)
+}
+
+func init() {
+	// CALLG arglist.ab, dst.ab
+	register(vax.CALLG, func(m *Machine) {
+		m.tick(uw.callEntry)
+		callCommon(m, m.opAddr(1), m.opAddr(0), 0)
+	})
+
+	// CALLS numarg.rl, dst.ab
+	register(vax.CALLS, func(m *Machine) {
+		m.tick(uw.callEntry)
+		m.push32(uw.callPush, uint32(m.opVal(0)))
+		ap := m.R[vax.SP]
+		callCommon(m, m.opAddr(1), ap, 1)
+	})
+
+	// RET
+	register(vax.RET, func(m *Machine) {
+		m.tick(uw.retEntry)
+		m.ticks(uw.retWork, 7)
+		fp := m.R[vax.FP]
+		maskWord := uint32(m.dread(uw.retPop, fp+4, 4))
+		ap := uint32(m.dread(uw.retPop, fp+8, 4))
+		savedFP := uint32(m.dread(uw.retPop, fp+12, 4))
+		pc := uint32(m.dread(uw.retPop, fp+16, 4))
+		sp := fp + 20
+		mask := uint16(maskWord >> 16 & 0x0FFF)
+		for r := 0; r <= 11; r++ {
+			if mask&(1<<uint(r)) != 0 {
+				m.ticks(uw.retWork, 2)
+				m.R[r] = uint32(m.dread(uw.retPop, sp, 4))
+				sp += 4
+			}
+		}
+		m.ticks(uw.retWork, 6)
+		if maskWord&(1<<29) != 0 { // CALLS frame: remove argument list
+			n := uint32(m.dread(uw.retPop, sp, 4))
+			sp += 4 + 4*(n&0xFF)
+			m.tick(uw.retWork)
+		}
+		m.R[vax.SP] = sp
+		m.R[vax.FP] = savedFP
+		m.R[vax.AP] = ap
+		m.PSL = m.PSL&^uint32(0xFFFF) | maskWord&0xFFFF
+		m.redirect(uw.retTaken, pc)
+	})
+
+	// PUSHR mask.rw / POPR mask.rw (PC excluded by architecture).
+	register(vax.PUSHR, func(m *Machine) {
+		m.tick(uw.pushrEntry)
+		m.tick(uw.pushrWork)
+		mask := uint16(m.opVal(0)) & 0x7FFF
+		for r := 14; r >= 0; r-- {
+			if mask&(1<<uint(r)) != 0 {
+				m.ticks(uw.pushrWork, 2)
+				m.push32(uw.pushrPush, m.R[r])
+			}
+		}
+	})
+	register(vax.POPR, func(m *Machine) {
+		m.tick(uw.poprEntry)
+		m.tick(uw.poprWork)
+		mask := uint16(m.opVal(0)) & 0x7FFF
+		for r := 0; r <= 14; r++ {
+			if mask&(1<<uint(r)) != 0 {
+				m.ticks(uw.poprWork, 2)
+				m.R[r] = m.pop32(uw.poprPop)
+			}
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package cpu
+
+import "vax780/internal/vax"
+
+// Execute-phase microroutines for the FIELD group: variable bit-field
+// operations and the bit branches (which Table 2 attributes to FIELD).
+
+// fieldBits reads size bits starting pos bits beyond the field base
+// operand. Register fields cost no memory reference; memory fields read
+// one or two longwords at the given read-class microword.
+func (m *Machine) fieldBits(op *operand, pos int32, size int, rw uint16) uint64 {
+	if size <= 0 {
+		return 0
+	}
+	if op.isReg {
+		v := uint64(m.R[op.reg]) | uint64(m.R[(op.reg+1)&0xF])<<32
+		return v >> uint(pos) & sizeMask8(size)
+	}
+	base := op.addr + uint32(pos>>3)
+	bit := uint(pos & 7)
+	v := m.dread(rw, base, 4)
+	if bit+uint(size) > 32 {
+		v |= m.dread(rw, base+4, 4) << 32
+	}
+	return v >> bit & sizeMask8(size)
+}
+
+// fieldInsert writes size bits at pos within the field base operand
+// (read-modify-write for memory fields).
+func (m *Machine) fieldInsert(op *operand, pos int32, size int, val uint64, rw, ww uint16) {
+	if size <= 0 {
+		return
+	}
+	mask := sizeMask8(size)
+	if op.isReg {
+		v := uint64(m.R[op.reg]) | uint64(m.R[(op.reg+1)&0xF])<<32
+		v = v&^(mask<<uint(pos)) | (val&mask)<<uint(pos)
+		m.R[op.reg] = uint32(v)
+		if uint(pos)+uint(size) > 32 {
+			m.R[(op.reg+1)&0xF] = uint32(v >> 32)
+		}
+		return
+	}
+	base := op.addr + uint32(pos>>3)
+	bit := uint(pos & 7)
+	span := 4
+	v := m.dread(rw, base, 4)
+	if bit+uint(size) > 32 {
+		v |= m.dread(rw, base+4, 4) << 32
+		span = 8
+	}
+	v = v&^(mask<<bit) | (val&mask)<<bit
+	m.dwrite(ww, base, 4, v)
+	if span == 8 {
+		m.dwrite(ww, base+4, 4, v>>32)
+	}
+}
+
+func sizeMask8(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(bits) - 1
+}
+
+func init() {
+	// EXTV/EXTZV pos.rl, size.rb, base.vb, dst.wl
+	ext := func(signed bool) execFn {
+		return func(m *Machine) {
+			m.tick(uw.fldEntry)
+			m.ticks(uw.fldWork, 5)
+			pos := int32(uint32(m.opVal(0)))
+			size := int(uint8(m.opVal(1)))
+			v := m.fieldBits(&m.ops[2], pos, size, uw.fldRead)
+			if signed && size > 0 && size < 64 && v&(1<<uint(size-1)) != 0 {
+				v |= ^sizeMask8(size)
+			}
+			m.ticks(uw.fldWork, 3)
+			m.ccNZ(v, 4)
+			m.storeResult(3, v)
+		}
+	}
+	register(vax.EXTV, ext(true))
+	register(vax.EXTZV, ext(false))
+
+	// INSV src.rl, pos.rl, size.rb, base.vb
+	register(vax.INSV, func(m *Machine) {
+		m.tick(uw.fldEntry)
+		m.ticks(uw.fldWork, 5)
+		pos := int32(uint32(m.opVal(1)))
+		size := int(uint8(m.opVal(2)))
+		m.fieldInsert(&m.ops[3], pos, size, m.opVal(0), uw.fldRead, uw.fldWrite)
+		m.ticks(uw.fldWork, 3)
+	})
+
+	// FFS/FFC startpos.rl, size.rb, base.vb, findpos.wl
+	ff := func(want uint64) execFn {
+		return func(m *Machine) {
+			m.tick(uw.fldEntry)
+			m.ticks(uw.fldWork, 4)
+			pos := int32(uint32(m.opVal(0)))
+			size := int(uint8(m.opVal(1)))
+			v := m.fieldBits(&m.ops[2], pos, size, uw.fldRead)
+			found := -1
+			for i := 0; i < size; i++ {
+				m.tickEvery(uw.fldWork, i, 8) // scan loop, 8 bits per microcycle
+				if v>>uint(i)&1 == want {
+					found = i
+					break
+				}
+			}
+			var result uint64
+			if found >= 0 {
+				result = uint64(pos) + uint64(found)
+				m.setCC(false, false, false, false)
+			} else {
+				result = uint64(pos) + uint64(size)
+				m.setCC(false, true, false, false)
+			}
+			m.tick(uw.fldWork)
+			m.storeResult(3, result)
+		}
+	}
+	register(vax.FFS, ff(1))
+	register(vax.FFC, ff(0))
+
+	// CMPV/CMPZV pos.rl, size.rb, base.vb, src.rl
+	cmpv := func(signed bool) execFn {
+		return func(m *Machine) {
+			m.tick(uw.fldEntry)
+			m.ticks(uw.fldWork, 3)
+			pos := int32(uint32(m.opVal(0)))
+			size := int(uint8(m.opVal(1)))
+			v := m.fieldBits(&m.ops[2], pos, size, uw.fldRead)
+			if signed && size > 0 && size < 64 && v&(1<<uint(size-1)) != 0 {
+				v |= ^sizeMask8(size)
+			}
+			m.tick(uw.fldWork)
+			m.ccCmp(v, m.opVal(3), 4)
+		}
+	}
+	register(vax.CMPV, cmpv(true))
+	register(vax.CMPZV, cmpv(false))
+
+	// Bit branches: BBS/BBC pos.rl, base.vb, disp; BBxx also set/clear.
+	bb := func(want uint64, setTo int) execFn {
+		return func(m *Machine) {
+			m.tick(uw.bbEntry)
+			m.ticks(uw.bbWork, 3)
+			pos := int32(uint32(m.opVal(0)))
+			bit := m.fieldBits(&m.ops[1], pos, 1, uw.bbRead)
+			if setTo >= 0 {
+				m.fieldInsert(&m.ops[1], pos, 1, uint64(setTo), uw.bbRead, uw.bbWrite)
+			}
+			if bit == want {
+				m.branchTake(uw.bbTaken)
+			} else {
+				m.branchSkip()
+			}
+		}
+	}
+	register(vax.BBS, bb(1, -1))
+	register(vax.BBC, bb(0, -1))
+	register(vax.BBSS, bb(1, 1))
+	register(vax.BBCS, bb(0, 1))
+	register(vax.BBSC, bb(1, 0))
+	register(vax.BBCC, bb(0, 0))
+	// Interlocked variants: same dataflow plus a bus-interlock microcycle.
+	bbi := func(want uint64, setTo int) execFn {
+		plain := bb(want, setTo)
+		return func(m *Machine) {
+			m.tick(uw.bbWork) // interlock acquisition
+			plain(m)
+		}
+	}
+	register(vax.BBSSI, bbi(1, 1))
+	register(vax.BBCCI, bbi(0, 0))
+}
+
+// tickEvery ticks w when i is a multiple of n (loop bodies processing
+// several items per microcycle).
+func (m *Machine) tickEvery(w uint16, i, n int) {
+	if i%n == 0 {
+		m.tick(w)
+	}
+}

@@ -1,0 +1,309 @@
+// Package cpu implements a cycle-level model of the VAX-11/780 processor:
+// the microcoded EBOX, the I-Fetch unit with its 8-byte instruction buffer,
+// the I-Decode dispatch, and their connection to the memory subsystem
+// (translation buffer, cache, write buffer and SBI).
+//
+// Every cycle the machine executes is attributed to exactly one microcode
+// control-store location (see internal/ucode) and reported to an attached
+// µPC histogram probe, reproducing the measurement substrate of Emer &
+// Clark's ISCA 1984 study. Stalled cycles (read stall, write stall) are
+// reported separately per location, and IB stalls are counted as executions
+// of dedicated "insufficient bytes" dispatch locations, exactly as on the
+// authors' monitor board (§2.2, §4.3 of the paper).
+package cpu
+
+import (
+	"fmt"
+
+	"vax780/internal/cache"
+	"vax780/internal/mem"
+	"vax780/internal/mmu"
+	"vax780/internal/tb"
+	"vax780/internal/vax"
+)
+
+// CycleNanoseconds is the EBOX microinstruction time: the paper's
+// definition of a cycle (§2.1).
+const CycleNanoseconds = 200
+
+// Probe receives per-cycle µPC events. It is the attachment point for the
+// µPC histogram monitor (internal/core). A nil probe means no monitor.
+//
+// The probe is passive: implementations must not mutate machine state.
+type Probe interface {
+	// Count records n executed (non-stalled) cycles at a control-store
+	// location. n > 1 only for IB-stall locations, whose execution count
+	// is defined to be the stall cycle count.
+	Count(upc uint16, n uint64)
+	// Stall records n read- or write-stalled cycles at the location of
+	// the stalled microinstruction.
+	Stall(upc uint16, n uint64)
+}
+
+// Config assembles a machine. Zero fields take 11/780 defaults.
+type Config struct {
+	MemBytes uint32         // physical memory size (default 8 MB, as measured)
+	SBI      mem.SBIConfig  // bus timing
+	Cache    cache.Config   // cache geometry
+	// DecodeOverlap removes the non-overlapped decode cycle on
+	// non-PC-changing instructions (the 11/750 optimization discussed in
+	// §5) — an ablation knob, off for the 11/780.
+	DecodeOverlap bool
+	// CharWriteSpacing enables the character-string microcode's
+	// write-stall-avoidance spacing (§4.3); on for the real machine.
+	// Disabling it is an ablation.
+	NoCharWriteSpacing bool
+	// PatchEvery inserts one Abort-row cycle every N instructions,
+	// modelling the production machines' microcode patches ("one [abort
+	// cycle] for each microcode patch", §5). Default 10; negative
+	// disables.
+	PatchEvery int
+	// WriteBufferDepth sizes the write buffer in longwords (default 1,
+	// the 11/780's; deeper buffers are an ablation).
+	WriteBufferDepth int
+	// NoTBFlushOnSwitch stops LDPCTX from flushing the process half of
+	// the TB — the flush-policy ablation of §3.4 (which would require
+	// address-space tags the 780 does not have).
+	NoTBFlushOnSwitch bool
+	// NoFPA removes the Floating Point Accelerator ("all of the VAXes had
+	// Floating Point Accelerators", §2.2): floating execute phases take
+	// FPASlowdown times as many microcycles.
+	NoFPA bool
+	// FPASlowdown is the microcode-only float cost multiplier when NoFPA
+	// is set (default 3).
+	FPASlowdown int
+}
+
+// IRQ is a pending interrupt request.
+type IRQ struct {
+	At     uint64 // cycle at which the request asserts
+	IPL    uint8  // request priority level
+	Vector uint16 // SCB vector offset (bytes)
+}
+
+// Machine is a complete VAX-11/780.
+type Machine struct {
+	cfg Config
+
+	Mem   *mem.Memory
+	SBI   *mem.SBI
+	WB    *mem.WriteBuffer
+	Cache *cache.Cache
+	TLB   *tb.TB
+	MMU   mmu.Registers
+
+	// Architectural state.
+	R   [16]uint32 // R15 (PC) is shadowed by the IB pointer; see PCVal
+	PSL uint32
+	ipr [iprCount]uint32 // internal processor registers
+
+	// Microarchitectural state.
+	ib      ibox
+	ops     [6]operand
+	nops    int
+	instr   *vax.OpInfo
+	instPC  uint32
+	cycle   uint64
+	instret uint64
+	halted  bool
+	runErr  error
+
+	probe Probe
+	gate  bool // monitor count enable (vmos drops it for the null process)
+
+	irqs    []IRQ // time-ordered external interrupt requests
+	nextIRQ int
+
+	lastPCChange bool // previous instruction changed the PC (DecodeOverlap ablation)
+	inExc        bool // exception delivery in progress (nesting guard)
+	patchCtr     int  // instructions until the next patched microword
+
+	// Hardware event counters (not monitor-visible; used for cross-checks).
+	unaligned    uint64
+	sirrRequests uint64
+	irqDelivered uint64
+	exceptions   uint64
+	ctxSwitches  uint64
+
+	// OnInstruction, if set, runs between instructions (used by the OS
+	// layer for scheduling decisions and by the RTE for terminal events).
+	OnInstruction func(m *Machine)
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 8 << 20
+	}
+	if cfg.SBI.ReadLatency == 0 {
+		cfg.SBI = mem.DefaultSBIConfig()
+	}
+	if cfg.Cache.SizeBytes == 0 {
+		cfg.Cache = cache.DefaultConfig()
+	}
+	if cfg.PatchEvery == 0 {
+		cfg.PatchEvery = 10
+	}
+	if cfg.FPASlowdown == 0 {
+		cfg.FPASlowdown = 3
+	}
+	m := &Machine{}
+	if cfg.WriteBufferDepth == 0 {
+		cfg.WriteBufferDepth = 1
+	}
+	m.cfg = cfg
+	m.Mem = mem.New(cfg.MemBytes)
+	m.SBI = mem.NewSBI(cfg.SBI)
+	m.WB = mem.NewWriteBufferDepth(m.SBI, cfg.WriteBufferDepth)
+	m.Cache = cache.New(cfg.Cache)
+	m.TLB = tb.New()
+	m.ib.m = m
+	m.gate = true
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// AttachProbe connects a µPC histogram probe. Passing nil detaches.
+func (m *Machine) AttachProbe(p Probe) { m.probe = p }
+
+// SetMonitorGate enables or disables monitor counting (the paper excluded
+// the VMS null process from measurement, §2.2).
+func (m *Machine) SetMonitorGate(on bool) { m.gate = on }
+
+// MonitorGate reports whether monitor counting is enabled.
+func (m *Machine) MonitorGate() bool { return m.gate }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Instructions returns the number of completed VAX instructions.
+func (m *Machine) Instructions() uint64 { return m.instret }
+
+// Halted reports whether the machine executed HALT in kernel mode.
+func (m *Machine) Halted() bool { return m.halted }
+
+// PCVal returns the architectural PC: the address of the next I-stream
+// byte to be decoded.
+func (m *Machine) PCVal() uint32 { return m.ib.cur() }
+
+// SetPC redirects instruction fetch to va.
+func (m *Machine) SetPC(va uint32) { m.ib.redirect(va) }
+
+// QueueIRQ schedules an external interrupt request. Requests must be
+// queued in non-decreasing At order.
+func (m *Machine) QueueIRQ(q IRQ) {
+	if n := len(m.irqs); n > 0 && m.irqs[n-1].At > q.At {
+		panic("cpu: IRQs must be queued in time order")
+	}
+	m.irqs = append(m.irqs, q)
+}
+
+// tick executes one non-stalled cycle at control-store location w.
+func (m *Machine) tick(w uint16) {
+	if m.probe != nil && m.gate {
+		m.probe.Count(w, 1)
+	}
+	m.cycle++
+}
+
+// ticks executes n cycles at w (a microcode loop revisiting one location).
+func (m *Machine) ticks(w uint16, n int) {
+	for i := 0; i < n; i++ {
+		m.tick(w)
+	}
+}
+
+// stall accounts n read-/write-stalled cycles at w.
+func (m *Machine) stall(w uint16, n uint64) {
+	if n == 0 {
+		return
+	}
+	if m.probe != nil && m.gate {
+		m.probe.Stall(w, n)
+	}
+	m.cycle += n
+}
+
+// ibStallTick burns one cycle waiting for IB bytes, counted as an
+// execution of the dedicated stall location w (§4.3).
+func (m *Machine) ibStallTick(w uint16) {
+	if m.probe != nil && m.gate {
+		m.probe.Count(w, 1)
+	}
+	m.cycle++
+}
+
+// RunResult describes why Run returned.
+type RunResult struct {
+	Cycles       uint64
+	Instructions uint64
+	Halted       bool
+	Err          error
+}
+
+// Run executes instructions until a kernel-mode HALT, an unrecoverable
+// error, or the cycle budget is exhausted.
+func (m *Machine) Run(maxCycles uint64) RunResult {
+	start := m.cycle
+	startInst := m.instret
+	for !m.halted && m.runErr == nil && m.cycle-start < maxCycles {
+		m.StepInstruction()
+		if m.OnInstruction != nil {
+			m.OnInstruction(m)
+		}
+	}
+	return RunResult{
+		Cycles:       m.cycle - start,
+		Instructions: m.instret - startInst,
+		Halted:       m.halted,
+		Err:          m.runErr,
+	}
+}
+
+// Err returns the sticky machine error, if any.
+func (m *Machine) Err() error { return m.runErr }
+
+func (m *Machine) fail(format string, args ...any) {
+	if m.runErr == nil {
+		m.runErr = fmt.Errorf("cpu: "+format, args...)
+	}
+	m.halted = true
+}
+
+// CurrentMode returns the PSL current-mode field (0 kernel .. 3 user).
+func (m *Machine) CurrentMode() uint32 { return m.PSL >> 24 & 3 }
+
+// HWCounters are hardware event counts kept outside the monitor, used to
+// cross-check the histogram-derived frequencies.
+type HWCounters struct {
+	Unaligned    uint64 // unaligned D-stream references (§3.3.1: ~0.016/instr)
+	SIRRRequests uint64 // software interrupt requests (Table 7)
+	Interrupts   uint64 // hardware+software interrupts delivered (Table 7)
+	Exceptions   uint64
+	CtxSwitches  uint64 // LDPCTX executions (Table 7)
+}
+
+// HW returns the hardware event counters.
+func (m *Machine) HW() HWCounters {
+	return HWCounters{
+		Unaligned:    m.unaligned,
+		SIRRRequests: m.sirrRequests,
+		Interrupts:   m.irqDelivered,
+		Exceptions:   m.exceptions,
+		CtxSwitches:  m.ctxSwitches,
+	}
+}
+
+// setMode switches the current mode, banking the stack pointer.
+func (m *Machine) setMode(mode uint32) {
+	cur := m.CurrentMode()
+	if cur == mode {
+		return
+	}
+	// Save outgoing SP, load incoming.
+	m.ipr[IPRSlotKSP+int(cur)] = m.R[vax.SP]
+	m.R[vax.SP] = m.ipr[IPRSlotKSP+int(mode)]
+	m.PSL = m.PSL&^(3<<24) | mode<<24
+}

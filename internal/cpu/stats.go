@@ -1,0 +1,61 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"vax780/internal/cache"
+	"vax780/internal/tb"
+)
+
+// StatsReport renders every hardware counter the machine keeps — the
+// console operator's view, complementing the monitor's microcode view.
+// Rates are per machine instruction (which, unlike the monitor's counts,
+// include any gated-off periods such as the null process).
+func (m *Machine) StatsReport() string {
+	var sb strings.Builder
+	instr := float64(m.Instructions())
+	if instr == 0 {
+		instr = 1
+	}
+	per := func(n uint64) float64 { return float64(n) / instr }
+
+	fmt.Fprintf(&sb, "machine: %d cycles, %d instructions (%.3f CPI), %.3f simulated ms\n",
+		m.Cycle(), m.Instructions(),
+		float64(m.Cycle())/instr,
+		float64(m.Cycle())*CycleNanoseconds/1e6)
+
+	cs := m.Cache.Stats()
+	fmt.Fprintf(&sb, "cache:   I-stream %.4f miss ratio (%d/%d), D-stream %.4f (%d/%d)\n",
+		cs.MissRatio(cache.IStream), cs.ReadMisses[cache.IStream], cs.Reads(cache.IStream),
+		cs.MissRatio(cache.DStream), cs.ReadMisses[cache.DStream], cs.Reads(cache.DStream))
+	fmt.Fprintf(&sb, "         writes %d hit / %d miss (write-through, no allocate), %d flushes\n",
+		cs.WriteHits, cs.WriteMisses, cs.Flushes)
+
+	ts := m.TLB.Stats()
+	fmt.Fprintf(&sb, "tb:      %.5f misses/instr (I %.5f, D %.5f), %d process flushes, %d full\n",
+		per(ts.Misses[tb.IStream]+ts.Misses[tb.DStream]),
+		per(ts.Misses[tb.IStream]), per(ts.Misses[tb.DStream]),
+		ts.ProcessFlushes, ts.FullFlushes)
+
+	ss := m.SBI.Stats()
+	util := 0.0
+	if m.Cycle() > 0 {
+		util = float64(ss.BusyCycles) / float64(m.Cycle())
+	}
+	fmt.Fprintf(&sb, "sbi:     %d reads, %d writes, %.1f%% utilization\n",
+		ss.Reads, ss.Writes, 100*util)
+
+	ws := m.WB.Stats()
+	fmt.Fprintf(&sb, "wbuf:    %d writes, %d stalled (%d cycles lost)\n",
+		ws.Writes, ws.Stalls, ws.StallCycles)
+
+	ib := m.IBStats()
+	fmt.Fprintf(&sb, "ib:      %.2f refs/instr, %.2f bytes consumed/instr, %d redirects, %d I-TB misses\n",
+		per(ib.CacheRefs), per(ib.BytesConsumed), ib.Redirects, ib.TBMisses)
+
+	hw := m.HW()
+	fmt.Fprintf(&sb, "events:  %d interrupts, %d SIRR requests, %d exceptions, %d context switches, %d unaligned\n",
+		hw.Interrupts, hw.SIRRRequests, hw.Exceptions, hw.CtxSwitches, hw.Unaligned)
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Component is one block of the Figure 1 machine diagram.
+type Component struct {
+	Name     string
+	Subsys   string // "CPU pipeline" or "Memory subsystem"
+	FeedsTo  []string
+}
+
+// Topology returns the machine's component graph — the structural content
+// of the paper's Figure 1 (VAX-11/780 block diagram), generated from the
+// simulator's actual composition so the experiment can assert that the
+// modelled structure matches the paper's.
+func (m *Machine) Topology() []Component {
+	return []Component{
+		{"I-Fetch", "CPU pipeline", []string{"Instruction Buffer"}},
+		{"Instruction Buffer", "CPU pipeline", []string{"I-Decode"}},
+		{"I-Decode", "CPU pipeline", []string{"EBOX"}},
+		{"EBOX", "CPU pipeline", []string{"Translation Buffer", "Write Buffer", "I-Fetch"}},
+		{"Translation Buffer", "Memory subsystem", []string{"Cache"}},
+		{"Cache", "Memory subsystem", []string{"SBI"}},
+		{"Write Buffer", "Memory subsystem", []string{"SBI"}},
+		{"SBI", "Memory subsystem", []string{"Memory"}},
+		{"Memory", "Memory subsystem", nil},
+	}
+}
+
+// RenderTopology draws the block diagram as text.
+func (m *Machine) RenderTopology() string {
+	var sb strings.Builder
+	sb.WriteString("VAX-11/780 block structure (Figure 1)\n")
+	sb.WriteString("\n")
+	sb.WriteString("  CPU pipeline:\n")
+	sb.WriteString("    I-Fetch --> [8-byte IB] --> I-Decode --> EBOX (microcode, 200 ns cycle)\n")
+	sb.WriteString("        ^                                     |  ^ dispatch/IB-stall\n")
+	sb.WriteString("        +------- branch redirect -------------+\n")
+	sb.WriteString("\n")
+	sb.WriteString("  Memory subsystem:\n")
+	sb.WriteString("    {I-Fetch, EBOX} --> Translation Buffer --> Cache --> SBI --> Memory\n")
+	sb.WriteString("    EBOX writes ------> Write Buffer (1 longword) ----> SBI (write-through)\n")
+	sb.WriteString("\n")
+	cfg := m.Cache.Config()
+	sbi := m.SBI.Config()
+	fmt.Fprintf(&sb, "  Parameters: cache %d KB %d-way %dB blocks; TB 128 entries 2-way split;\n",
+		cfg.SizeBytes/1024, cfg.Ways, cfg.BlockBytes)
+	fmt.Fprintf(&sb, "  read miss %d cycles; write occupancy %d cycles; memory %d MB.\n",
+		sbi.ReadLatency, sbi.WriteOccupancy, m.Mem.Size()>>20)
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"vax780/internal/cpu"
+)
+
+// The context is expensive; build it once for the package's tests.
+var (
+	ctxOnce sync.Once
+	testCtx *Context
+	ctxErr  error
+)
+
+func sharedCtx(t *testing.T) *Context {
+	t.Helper()
+	ctxOnce.Do(func() {
+		testCtx, ctxErr = NewContext(700_000, cpu.Config{MemBytes: 4 << 20})
+	})
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	return testCtx
+}
+
+func TestContextBasics(t *testing.T) {
+	ctx := sharedCtx(t)
+	if ctx.Rep.Instructions == 0 {
+		t.Fatal("no instructions measured")
+	}
+	if len(ctx.Comp.Runs) != 5 {
+		t.Errorf("composite should hold 5 runs, got %d", len(ctx.Comp.Runs))
+	}
+	if ctx.MachInstr < ctx.Rep.Instructions {
+		t.Errorf("machine instructions %d < measured %d", ctx.MachInstr, ctx.Rep.Instructions)
+	}
+}
+
+func TestRunAllProducesEveryExperiment(t *testing.T) {
+	outs := RunAll(sharedCtx(t))
+	wantIDs := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "F1", "S4.1", "S4.2", "S5"}
+	if len(outs) != len(wantIDs) {
+		t.Fatalf("experiments = %d, want %d", len(outs), len(wantIDs))
+	}
+	for i, o := range outs {
+		if o.ID != wantIDs[i] {
+			t.Errorf("experiment %d ID = %s, want %s", i, o.ID, wantIDs[i])
+		}
+		if o.Text == "" {
+			t.Errorf("%s: empty rendering", o.ID)
+		}
+		if len(o.Checks) == 0 {
+			t.Errorf("%s: no shape checks", o.ID)
+		}
+	}
+}
+
+func TestEveryTableMentionsPaperAndMeasured(t *testing.T) {
+	for _, o := range RunAll(sharedCtx(t)) {
+		if o.ID == "F1" {
+			continue // the figure is a diagram, not a paper/measured table
+		}
+		low := strings.ToLower(o.Text)
+		if !strings.Contains(low, "paper") || !strings.Contains(low, "meas") {
+			t.Errorf("%s rendering lacks paper/measured columns", o.ID)
+		}
+	}
+}
+
+func TestFigure1Connectivity(t *testing.T) {
+	out := Figure1(sharedCtx(t))
+	if out.Fails != 0 {
+		t.Errorf("block diagram connectivity checks failed:\n%s", out.Text)
+	}
+	if !strings.Contains(out.Text, "Translation Buffer") {
+		t.Error("rendering missing components")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	outs := RunAll(sharedCtx(t))
+	s := Summary(outs)
+	if !strings.Contains(s, "TOTAL:") {
+		t.Errorf("summary missing total: %s", s)
+	}
+	for _, id := range []string{"T1", "T8", "S4.2"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("summary missing %s", id)
+		}
+	}
+}
+
+// TestShortCompositeShapeHighlights asserts the paper's headline
+// qualitative results hold even on a short measurement (the full-length
+// check is cmd/vaxrepro / the benchmarks).
+func TestShortCompositeShapeHighlights(t *testing.T) {
+	ctx := sharedCtx(t)
+	r := ctx.Rep
+	if cpi := r.CPI(); cpi < 7 || cpi > 14 {
+		t.Errorf("CPI %.2f out of the paper's neighbourhood", cpi)
+	}
+	// SIMPLE dominates executions.
+	if f := r.GroupFreq(0); f < 0.7 {
+		t.Errorf("SIMPLE frequency %.2f, want > 0.7", f)
+	}
+	// Decode compute is exactly one cycle per instruction on the 780.
+	if d := r.Timing[0].Compute; d < 0.999 || d > 1.001 {
+		t.Errorf("decode compute %.3f, want 1.0", d)
+	}
+	// Reads outnumber writes roughly 2:1.
+	ratio := r.TimingTotal.Read / r.TimingTotal.Write
+	if ratio < 1.1 || ratio > 3.5 {
+		t.Errorf("read:write ratio %.2f far from ~2", ratio)
+	}
+}

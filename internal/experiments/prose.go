@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+
+	"vax780/internal/core"
+	"vax780/internal/paper"
+	"vax780/internal/report"
+	"vax780/internal/vax"
+)
+
+// Section5Prose reproduces the quantitative claims the paper makes in
+// prose around Tables 2 and 9 (§3.1, §5), beyond the tables themselves:
+//
+//   - "about 9 out of 10 loop branches actually branched. Therefore the
+//     average number of iterations of all loops ... was about 10";
+//   - "with around 4 reads and writes per average CALL/RET or PUSHR/POPR
+//     instruction we conclude that about 8 registers are being pushed and
+//     popped";
+//   - "the average character instruction reads and writes 9 to 11
+//     longwords, so the average size of a character string is 36-44
+//     characters";
+//   - "the computation associated with the average simple instruction is
+//     quite simple: a little over one cycle";
+//   - "the range of cycle time requirements ... covers two orders of
+//     magnitude".
+func Section5Prose(ctx *Context) Outcome {
+	var sb strings.Builder
+	r := ctx.Rep
+
+	// Loop iterations from the taken ratio: a loop of n iterations takes
+	// its back-edge n-1 times of n executions.
+	loop := r.PCClasses[vax.PCLoop]
+	iters := 0.0
+	if loop.Entries > loop.Taken {
+		iters = float64(loop.Entries) / float64(loop.Entries-loop.Taken)
+	}
+
+	// Reads+writes per average CALL/RET instruction (Table 9 arithmetic).
+	mem := map[string]core.MemOpRow{}
+	for _, row := range r.MemOps {
+		mem[row.Label] = row
+	}
+	perGroup := func(label string, g vax.Group) (reads, writes float64) {
+		if r.Groups[g] == 0 {
+			return 0, 0
+		}
+		scale := float64(r.Instructions) / float64(r.Groups[g])
+		return mem[label].Reads * scale, mem[label].Writes * scale
+	}
+	crReads, crWrites := perGroup("Call/Ret", vax.GroupCallRet)
+	regsPushed := (crReads + crWrites) // each pushed register is one write and one later read
+
+	chReads, chWrites := perGroup("Character", vax.GroupCharacter)
+	_ = chWrites
+	strBytes := 4 * chReads // longwords read per character instruction
+
+	simpleCycles := r.WithinGroup(vax.GroupSimple).Compute
+	spread := safeDiv(r.WithinGroup(vax.GroupCharacter).Total(),
+		r.WithinGroup(vax.GroupSimple).Total())
+
+	rows := [][]string{
+		{"Loop iterations (from %taken)", report.F(paper.LoopIterations, 1), report.F(iters, 1)},
+		{"Regs pushed+popped per CALL/RET", report.F(paper.CallRetRegs, 1), report.F(regsPushed, 1)},
+		{"Character string bytes", report.F(paper.CharStringBytes, 0), report.F(strBytes, 0)},
+		{"Simple execute compute cycles", "1.0+", report.F(simpleCycles, 2)},
+		{"Character:Simple cost spread", "~100x", report.F(spread, 0) + "x"},
+	}
+	report.Table(&sb, "Section 5 prose claims",
+		[]string{"claim", "paper", "measured"}, rows)
+
+	checks := []report.Check{
+		{Name: "loop iterations ~10", Paper: paper.LoopIterations, Measured: iters, RelTol: 0.45},
+		{Name: "regs per CALL/RET ~8", Paper: paper.CallRetRegs, Measured: regsPushed, RelTol: 0.45},
+		{Name: "string bytes 36-44", Paper: paper.CharStringBytes, Measured: strBytes, RelTol: 0.5},
+		{Name: "simple compute ~1 cycle", Paper: 1.04, Measured: simpleCycles, RelTol: 0.4},
+		{Name: "two-orders-of-magnitude spread", Paper: 100, Measured: spread, RelTol: 0.7},
+	}
+	return finish("S5", "Prose claims of Section 5", &sb, checks)
+}

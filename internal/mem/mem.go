@@ -1,0 +1,70 @@
+// Package mem models the VAX-11/780 memory subsystem below the cache: the
+// physical memory array, the SBI (Synchronous Backplane Interconnect) as a
+// contended single-transaction resource, and the one-longword write buffer
+// that makes the 780's write-through scheme tolerable (§2.1 of the paper).
+//
+// All timing in this package is expressed in EBOX cycles (200 ns).
+package mem
+
+import "fmt"
+
+// Memory is the physical memory array (the paper's machines had 8 MB).
+type Memory struct {
+	data []byte
+}
+
+// New returns a physical memory of the given size in bytes.
+func New(size uint32) *Memory {
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+func (m *Memory) check(pa uint32, n int) {
+	if uint64(pa)+uint64(n) > uint64(len(m.data)) {
+		panic(fmt.Sprintf("mem: physical access %#x+%d beyond %#x", pa, n, len(m.data)))
+	}
+}
+
+// Byte reads one byte at a physical address.
+func (m *Memory) Byte(pa uint32) byte {
+	m.check(pa, 1)
+	return m.data[pa]
+}
+
+// ReadLong reads an aligned-agnostic longword at a physical address.
+func (m *Memory) ReadLong(pa uint32) uint32 {
+	m.check(pa, 4)
+	return uint32(m.data[pa]) | uint32(m.data[pa+1])<<8 |
+		uint32(m.data[pa+2])<<16 | uint32(m.data[pa+3])<<24
+}
+
+// SetByte writes one byte at a physical address.
+func (m *Memory) SetByte(pa uint32, v byte) {
+	m.check(pa, 1)
+	m.data[pa] = v
+}
+
+// WriteLong writes a longword at a physical address.
+func (m *Memory) WriteLong(pa uint32, v uint32) {
+	m.check(pa, 4)
+	m.data[pa] = byte(v)
+	m.data[pa+1] = byte(v >> 8)
+	m.data[pa+2] = byte(v >> 16)
+	m.data[pa+3] = byte(v >> 24)
+}
+
+// Load copies a byte image into physical memory.
+func (m *Memory) Load(pa uint32, b []byte) {
+	m.check(pa, len(b))
+	copy(m.data[pa:], b)
+}
+
+// Read copies n bytes out of physical memory.
+func (m *Memory) Read(pa uint32, n int) []byte {
+	m.check(pa, n)
+	out := make([]byte, n)
+	copy(out, m.data[pa:])
+	return out
+}

@@ -1,0 +1,195 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := New(4096)
+	m.WriteLong(0x100, 0xDEADBEEF)
+	if got := m.ReadLong(0x100); got != 0xDEADBEEF {
+		t.Errorf("ReadLong = %#x", got)
+	}
+	if got := m.Byte(0x100); got != 0xEF {
+		t.Errorf("little-endian byte 0 = %#x, want 0xEF", got)
+	}
+	if got := m.Byte(0x103); got != 0xDE {
+		t.Errorf("byte 3 = %#x, want 0xDE", got)
+	}
+	m.SetByte(0x101, 0x00)
+	if got := m.ReadLong(0x100); got != 0xDEAD00EF {
+		t.Errorf("after byte write: %#x", got)
+	}
+}
+
+func TestMemoryLoadRead(t *testing.T) {
+	m := New(1024)
+	m.Load(10, []byte{1, 2, 3})
+	if got := m.Read(10, 3); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Read = %v", got)
+	}
+}
+
+func TestMemoryBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access should panic")
+		}
+	}()
+	New(16).ReadLong(14)
+}
+
+func TestPropertyMemoryLongRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	f := func(addr uint16, v uint32) bool {
+		pa := uint32(addr)
+		if pa > m.Size()-4 {
+			pa = m.Size() - 4
+		}
+		m.WriteLong(pa, v)
+		return m.ReadLong(pa) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSBIUncontendedRead(t *testing.T) {
+	s := NewSBI(DefaultSBIConfig())
+	if done := s.Read(100); done != 106 {
+		t.Errorf("read done = %d, want 106", done)
+	}
+	if s.Stats().Reads != 1 {
+		t.Errorf("reads = %d", s.Stats().Reads)
+	}
+}
+
+func TestSBIContention(t *testing.T) {
+	s := NewSBI(DefaultSBIConfig())
+	first := s.Read(100) // 106
+	second := s.Read(102)
+	if second != first+6 {
+		t.Errorf("contended read done = %d, want %d", second, first+6)
+	}
+	// After the bus drains, a later read is uncontended again.
+	third := s.Read(second + 10)
+	if third != second+16 {
+		t.Errorf("post-drain read done = %d, want %d", third, second+16)
+	}
+}
+
+func TestSBIWriteOccupiesBus(t *testing.T) {
+	s := NewSBI(DefaultSBIConfig())
+	s.Write(0) // occupies until 6
+	if done := s.Read(1); done != 12 {
+		t.Errorf("read behind write done = %d, want 12", done)
+	}
+}
+
+func TestWriteBufferFastPath(t *testing.T) {
+	s := NewSBI(DefaultSBIConfig())
+	w := NewWriteBuffer(s)
+	if stall := w.Write(10); stall != 0 {
+		t.Errorf("first write stall = %d", stall)
+	}
+	// A write 6+ cycles later does not stall.
+	if stall := w.Write(16); stall != 0 {
+		t.Errorf("spaced write stall = %d", stall)
+	}
+}
+
+func TestWriteBufferBackToBackStalls(t *testing.T) {
+	s := NewSBI(DefaultSBIConfig())
+	w := NewWriteBuffer(s)
+	w.Write(10) // drains at 16
+	if stall := w.Write(12); stall != 4 {
+		t.Errorf("back-to-back write stall = %d, want 4", stall)
+	}
+	st := w.Stats()
+	if st.Writes != 2 || st.Stalls != 1 || st.StallCycles != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWriteBufferChainOfWrites(t *testing.T) {
+	// N back-to-back writes issued on consecutive cycles: each pays the
+	// residual occupancy of its predecessor.
+	s := NewSBI(DefaultSBIConfig())
+	w := NewWriteBuffer(s)
+	now := uint64(0)
+	var total uint64
+	for i := 0; i < 10; i++ {
+		stall := w.Write(now)
+		total += stall
+		now += stall + 1 // one cycle to initiate the write, then next attempt
+	}
+	// First write free; each subsequent write waits 5 cycles (6-cycle
+	// occupancy minus the 1-cycle initiation).
+	if total != 9*5 {
+		t.Errorf("total stall = %d, want 45", total)
+	}
+}
+
+func TestPropertySBIMonotonic(t *testing.T) {
+	// Completion times never move backwards no matter the request pattern.
+	f := func(deltas []uint8) bool {
+		s := NewSBI(DefaultSBIConfig())
+		now, last := uint64(0), uint64(0)
+		for i, d := range deltas {
+			now += uint64(d % 8)
+			var done uint64
+			if i%2 == 0 {
+				done = s.Read(now)
+			} else {
+				done = s.Write(now)
+			}
+			if done < last || done < now {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBufferDepthTwo(t *testing.T) {
+	s := NewSBI(DefaultSBIConfig())
+	w := NewWriteBufferDepth(s, 2)
+	if w.Depth() != 2 {
+		t.Fatalf("depth = %d", w.Depth())
+	}
+	// Two back-to-back writes fit the buffer without stalling.
+	if st := w.Write(10); st != 0 {
+		t.Errorf("first write stall = %d", st)
+	}
+	if st := w.Write(11); st != 0 {
+		t.Errorf("second write stall = %d (depth 2 should absorb it)", st)
+	}
+	// The third must wait for the first to drain (at cycle 16).
+	if st := w.Write(12); st != 4 {
+		t.Errorf("third write stall = %d, want 4", st)
+	}
+}
+
+func TestWriteBufferDepthReducesStalls(t *testing.T) {
+	run := func(depth int) uint64 {
+		s := NewSBI(DefaultSBIConfig())
+		w := NewWriteBufferDepth(s, depth)
+		now := uint64(0)
+		for i := 0; i < 50; i++ {
+			now += w.Write(now) + 2 // writes two cycles apart
+		}
+		return w.Stats().StallCycles
+	}
+	d1, d2, d4 := run(1), run(2), run(4)
+	if !(d1 >= d2 && d2 >= d4) {
+		t.Errorf("stalls not monotone in depth: %d, %d, %d", d1, d2, d4)
+	}
+	if d1 == 0 {
+		t.Error("depth-1 buffer should stall on 2-cycle-apart writes")
+	}
+}

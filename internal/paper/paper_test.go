@@ -1,0 +1,198 @@
+package paper
+
+import (
+	"math"
+	"testing"
+
+	"vax780/internal/ucode"
+	"vax780/internal/vax"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTable1SumsTo100(t *testing.T) {
+	var sum float64
+	for _, pct := range Table1 {
+		sum += pct
+	}
+	// The paper's groups sum to 99.93 (rounding in the original).
+	if !near(sum, 100, 0.1) {
+		t.Errorf("Table 1 sums to %.2f", sum)
+	}
+}
+
+func TestTable2TotalConsistent(t *testing.T) {
+	var all, taken float64
+	for _, row := range Table2 {
+		all += row.PctAll
+		taken += row.PctAll * row.PctTaken / 100
+	}
+	if !near(all, Table2Total.PctAll, 0.35) { // paper rows themselves sum to 38.2 vs stated 38.5
+		t.Errorf("Table 2 rows sum to %.1f%%, total says %.1f%%", all, Table2Total.PctAll)
+	}
+	// 67%% of 38.5%% = 25.8 ~ the paper's 25.7.
+	if !near(taken, 25.7, 0.5) {
+		t.Errorf("taken share %.1f%%, paper says 25.7%%", taken)
+	}
+}
+
+func TestTable3MatchesTable4Weights(t *testing.T) {
+	// Specifiers per instruction: 0.726 + 0.758 = 1.48(4), the number the
+	// paper quotes in §3.2.
+	if !near(Table3FirstSpecs+Table3OtherSpecs, 1.48, 0.01) {
+		t.Errorf("specs/instr = %.3f", Table3FirstSpecs+Table3OtherSpecs)
+	}
+}
+
+func TestTable4ColumnsSumTo100(t *testing.T) {
+	var s1, s26 float64
+	for _, row := range Table4 {
+		s1 += row.Spec1
+		s26 += row.Spec26
+	}
+	if !near(s1, 100, 0.2) || !near(s26, 100, 0.2) {
+		t.Errorf("Table 4 columns sum to %.1f / %.1f", s1, s26)
+	}
+}
+
+func TestTable4TotalIdentity(t *testing.T) {
+	// The paper's total column is the weighted average of SPEC1 and
+	// SPEC2-6; check the legible anchors.
+	w1 := Table3FirstSpecs / (Table3FirstSpecs + Table3OtherSpecs)
+	w2 := 1 - w1
+	anchors := map[string]float64{
+		"Register R":      41.0,
+		"Short literal":   15.8,
+		"Immediate (PC)+": 2.4,
+	}
+	for _, row := range Table4 {
+		want, ok := anchors[row.Label]
+		if !ok {
+			continue
+		}
+		got := row.Spec1*w1 + row.Spec26*w2
+		if !near(got, want, 0.5) {
+			t.Errorf("%s: weighted %.1f, paper total %.1f", row.Label, got, want)
+		}
+	}
+}
+
+func TestTable5SumsToTotals(t *testing.T) {
+	var r, w float64
+	for _, row := range Table5 {
+		r += row.Reads
+		w += row.Writes
+	}
+	if !near(r, Table5TotalReads, 0.002) {
+		t.Errorf("Table 5 reads sum %.3f, total %.3f", r, Table5TotalReads)
+	}
+	if !near(w, Table5TotalWrites, 0.002) {
+		t.Errorf("Table 5 writes sum %.3f, total %.3f", w, Table5TotalWrites)
+	}
+	// ~2:1 read:write ratio (§3.3.1).
+	if ratio := Table5TotalReads / Table5TotalWrites; !near(ratio, 2, 0.15) {
+		t.Errorf("read:write ratio %.2f", ratio)
+	}
+}
+
+func TestTable8RowsAndColumnsBalance(t *testing.T) {
+	var col Table8Row
+	var grand float64
+	for row := ucode.Row(0); row < ucode.NumRows; row++ {
+		r, ok := Table8[row]
+		if !ok {
+			t.Fatalf("Table 8 missing row %v", row)
+		}
+		col.Compute += r.Compute
+		col.Read += r.Read
+		col.RStall += r.RStall
+		col.Write += r.Write
+		col.WStall += r.WStall
+		col.IBStall += r.IBStall
+		grand += r.Total()
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"compute", col.Compute, Table8Total.Compute},
+		{"read", col.Read, Table8Total.Read},
+		{"r-stall", col.RStall, Table8Total.RStall},
+		{"write", col.Write, Table8Total.Write},
+		{"w-stall", col.WStall, Table8Total.WStall},
+		{"ib-stall", col.IBStall, Table8Total.IBStall},
+		{"grand total", grand, CPI},
+	}
+	for _, c := range checks {
+		if !near(c.got, c.want, 0.012) {
+			t.Errorf("Table 8 %s column sums to %.3f, total row says %.3f", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestTable8AnchorsLegible(t *testing.T) {
+	// Decode row is fully legible.
+	d := Table8[ucode.RowDecode]
+	if d.Compute != 1.000 || d.IBStall != 0.613 || !near(d.Total(), 1.613, 1e-9) {
+		t.Errorf("Decode row = %+v", d)
+	}
+	if !near(Table8[ucode.RowSimple].Total(), 0.977, 0.001) {
+		t.Errorf("Simple total = %.3f", Table8[ucode.RowSimple].Total())
+	}
+	if !near(Table8[ucode.RowCallRet].Total(), 1.458, 0.001) {
+		t.Errorf("Call/Ret total = %.3f", Table8[ucode.RowCallRet].Total())
+	}
+	if !near(Table8[ucode.RowMemMgmt].Total(), 0.824, 0.001) {
+		t.Errorf("MemMgmt total = %.3f", Table8[ucode.RowMemMgmt].Total())
+	}
+	// "Memory management has more than 3 times as many read-stalled
+	// cycles as reads."
+	mm := Table8[ucode.RowMemMgmt]
+	if mm.RStall < 3*mm.Read {
+		t.Errorf("MemMgmt RStall %.3f not > 3x reads %.3f", mm.RStall, mm.Read)
+	}
+}
+
+func TestTable9LegibleAnchors(t *testing.T) {
+	// Table 9 anchors from the paper: Call/Ret ~45.25 total, Simple ~1.17,
+	// Field ~8.67, Float ~8.33, Character ~117, Decimal ~101.
+	anchors := map[vax.Group]float64{
+		vax.GroupSimple:    1.17,
+		vax.GroupField:     8.67,
+		vax.GroupFloat:     8.33,
+		vax.GroupCallRet:   45.25,
+		vax.GroupCharacter: 117.0,
+		vax.GroupDecimal:   101.0,
+	}
+	for g, want := range anchors {
+		got := Table9(g).Total()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("Table 9 %v total = %.2f, paper %.2f", g, got, want)
+		}
+	}
+	// Two orders of magnitude between Simple and Decimal/Character (§5).
+	if Table9(vax.GroupCharacter).Total()/Table9(vax.GroupSimple).Total() < 50 {
+		t.Error("Table 9 should span two orders of magnitude")
+	}
+}
+
+func TestHalfTimeInDecodeAndSpecs(t *testing.T) {
+	// "The TOTAL column shows that almost half of all the time went into
+	// decode and specifier processing, counting their stalls."
+	share := (Table8[ucode.RowDecode].Total() + Table8[ucode.RowSpec1].Total() +
+		Table8[ucode.RowSpec26].Total() + Table8[ucode.RowBDisp].Total()) / CPI
+	if share < 0.40 || share > 0.55 {
+		t.Errorf("decode+spec share = %.2f, paper says almost half", share)
+	}
+}
+
+func TestTBMissNumbersConsistent(t *testing.T) {
+	if !near(TBMissDStream+TBMissIStream, TBMissPerInstr, 1e-9) {
+		t.Error("TB miss split inconsistent")
+	}
+	// Mem Mgmt row total ~ TB miss rate x service cycles + alignment.
+	est := TBMissPerInstr * TBMissServiceCycles
+	if !near(est, Table8[ucode.RowMemMgmt].Total(), 0.21) {
+		t.Errorf("TB miss cost %.3f vs MemMgmt row %.3f", est, Table8[ucode.RowMemMgmt].Total())
+	}
+}

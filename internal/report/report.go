@@ -1,0 +1,110 @@
+// Package report renders the reproduction's tables in a plain-text form
+// echoing the paper's layout, with paper-vs-measured columns and
+// tolerance-checked deltas.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes a fixed-width text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var total int
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", total))
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			pad := widths[i] - len(cell)
+			if i == 0 {
+				fmt.Fprintf(w, "%s%s  ", cell, strings.Repeat(" ", pad))
+			} else {
+				fmt.Fprintf(w, "%s%s  ", strings.Repeat(" ", pad), cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(headers)
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range rows {
+		writeRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// F formats a float with n decimals.
+func F(v float64, n int) string { return fmt.Sprintf("%.*f", n, v) }
+
+// Pct formats a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Check is a single paper-vs-measured comparison.
+type Check struct {
+	Name     string
+	Paper    float64
+	Measured float64
+	// RelTol is the acceptable relative deviation (e.g. 0.25 = ±25%);
+	// AbsTol is an absolute allowance for near-zero targets.
+	RelTol float64
+	AbsTol float64
+	// Estimated marks the paper value as reconstructed from garbled OCR.
+	Estimated bool
+}
+
+// OK reports whether the measured value is within tolerance.
+func (c Check) OK() bool {
+	diff := math.Abs(c.Measured - c.Paper)
+	if diff <= c.AbsTol {
+		return true
+	}
+	if c.Paper == 0 {
+		return false
+	}
+	return diff/math.Abs(c.Paper) <= c.RelTol
+}
+
+// Delta returns the relative deviation in percent (0 when paper is 0).
+func (c Check) Delta() float64 {
+	if c.Paper == 0 {
+		return 0
+	}
+	return 100 * (c.Measured - c.Paper) / c.Paper
+}
+
+// Checks renders a check list and returns the number of failures.
+func Checks(w io.Writer, title string, checks []Check) int {
+	rows := make([][]string, 0, len(checks))
+	fails := 0
+	for _, c := range checks {
+		status := "ok"
+		if !c.OK() {
+			status = "OFF"
+			fails++
+		}
+		name := c.Name
+		if c.Estimated {
+			name += " (est.)"
+		}
+		rows = append(rows, []string{
+			name, F(c.Paper, 3), F(c.Measured, 3),
+			fmt.Sprintf("%+.1f%%", c.Delta()), status,
+		})
+	}
+	Table(w, title, []string{"metric", "paper", "measured", "delta", ""}, rows)
+	return fails
+}

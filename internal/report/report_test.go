@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, "Title", []string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"beta-long-name", "22"},
+	})
+	out := sb.String()
+	for _, want := range []string{"Title", "alpha", "beta-long-name", "22", "name", "value"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the same width as the header line.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Errorf("F = %q", F(3.14159, 2))
+	}
+	if Pct(12.345) != "12.35" {
+		t.Errorf("Pct = %q", Pct(12.345))
+	}
+}
+
+func TestCheckOK(t *testing.T) {
+	cases := []struct {
+		c    Check
+		want bool
+	}{
+		{Check{Paper: 10, Measured: 10, RelTol: 0.1}, true},
+		{Check{Paper: 10, Measured: 11, RelTol: 0.1}, true},
+		{Check{Paper: 10, Measured: 11.5, RelTol: 0.1}, false},
+		{Check{Paper: 10, Measured: 9, RelTol: 0.05}, false},
+		{Check{Paper: 0, Measured: 0.01, AbsTol: 0.02}, true},
+		{Check{Paper: 0, Measured: 0.5, AbsTol: 0.02}, false},
+		{Check{Paper: 1, Measured: 1.5, RelTol: 0.1, AbsTol: 1}, true}, // abs rescues
+	}
+	for i, c := range cases {
+		if got := c.c.OK(); got != c.want {
+			t.Errorf("case %d: OK() = %v, want %v (%+v)", i, got, c.want, c.c)
+		}
+	}
+}
+
+func TestCheckDelta(t *testing.T) {
+	c := Check{Paper: 10, Measured: 12}
+	if d := c.Delta(); d != 20 {
+		t.Errorf("Delta = %v, want 20", d)
+	}
+	if (Check{Paper: 0, Measured: 5}).Delta() != 0 {
+		t.Error("zero-paper delta should be 0")
+	}
+}
+
+func TestChecksCountsFailures(t *testing.T) {
+	var sb strings.Builder
+	fails := Checks(&sb, "checks", []Check{
+		{Name: "good", Paper: 1, Measured: 1, RelTol: 0.1},
+		{Name: "bad", Paper: 1, Measured: 2, RelTol: 0.1},
+		{Name: "estimated", Paper: 1, Measured: 1.05, RelTol: 0.1, Estimated: true},
+	})
+	if fails != 1 {
+		t.Errorf("fails = %d, want 1", fails)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "OFF") {
+		t.Error("failing check not marked OFF")
+	}
+	if !strings.Contains(out, "(est.)") {
+		t.Error("estimated check not annotated")
+	}
+}

@@ -1,0 +1,161 @@
+package tb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vax780/internal/mmu"
+)
+
+func TestMissInsertHit(t *testing.T) {
+	b := New()
+	va := uint32(0x80001234)
+	if _, hit := b.Lookup(va, DStream); hit {
+		t.Fatal("cold lookup should miss")
+	}
+	b.Insert(va, 0x42)
+	pa, hit := b.Lookup(va, DStream)
+	if !hit {
+		t.Fatal("lookup after insert should hit")
+	}
+	want := uint32(0x42)<<mmu.PageShift | va&mmu.PageMask
+	if pa != want {
+		t.Errorf("pa = %#x, want %#x", pa, want)
+	}
+	st := b.Stats()
+	if st.Misses[DStream] != 1 || st.Hits[DStream] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHalvesIndependent(t *testing.T) {
+	b := New()
+	proc := uint32(0x00002000)
+	sys := uint32(0x80002000)
+	b.Insert(proc, 1)
+	b.Insert(sys, 2)
+	if _, hit := b.Lookup(proc, DStream); !hit {
+		t.Error("process entry lost")
+	}
+	if _, hit := b.Lookup(sys, DStream); !hit {
+		t.Error("system entry lost")
+	}
+	b.FlushProcess()
+	if b.Probe(proc) {
+		t.Error("process half should be flushed")
+	}
+	if !b.Probe(sys) {
+		t.Error("system half must survive a process flush")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	b := New()
+	b.Insert(0x1000, 1)
+	b.Insert(0x80001000, 2)
+	b.FlushAll()
+	if b.Probe(0x1000) || b.Probe(0x80001000) {
+		t.Error("FlushAll left entries")
+	}
+	if b.Stats().FullFlushes != 1 {
+		t.Error("flush not counted")
+	}
+}
+
+func TestInvalidateSingle(t *testing.T) {
+	b := New()
+	b.Insert(0x3000, 3)
+	b.Insert(0x5000, 5)
+	b.Invalidate(0x3000)
+	if b.Probe(0x3000) {
+		t.Error("invalidated entry still present")
+	}
+	if !b.Probe(0x5000) {
+		t.Error("unrelated entry lost")
+	}
+}
+
+func TestP0P1NoAliasing(t *testing.T) {
+	b := New()
+	// Same VPN-within-region, different regions -> distinct translations.
+	p0 := uint32(7 * mmu.PageSize)
+	p1 := uint32(0x40000000 + 7*mmu.PageSize)
+	b.Insert(p0, 100)
+	b.Insert(p1, 200)
+	pa0, hit0 := b.Lookup(p0, DStream)
+	pa1, hit1 := b.Lookup(p1, DStream)
+	if !hit0 || !hit1 {
+		t.Fatal("both should hit")
+	}
+	if pa0 == pa1 {
+		t.Error("P0 and P1 pages aliased")
+	}
+}
+
+func TestNMUReplacementKeepsMRU(t *testing.T) {
+	b := New()
+	// Three pages in the same set: VPNs differing by SetsPerHalf.
+	mk := func(i uint32) uint32 { return (5 + i*SetsPerHalf) << mmu.PageShift }
+	b.Insert(mk(0), 10)
+	b.Insert(mk(1), 11)
+	b.Lookup(mk(0), DStream) // make entry 0 MRU
+	b.Insert(mk(2), 12)      // must replace entry 1
+	if !b.Probe(mk(0)) {
+		t.Error("MRU entry was replaced")
+	}
+	if b.Probe(mk(1)) {
+		t.Error("non-MRU entry should have been replaced")
+	}
+	if !b.Probe(mk(2)) {
+		t.Error("new entry missing")
+	}
+}
+
+func TestPropertyInsertThenProbe(t *testing.T) {
+	f := func(pages []uint32) bool {
+		b := New()
+		for _, p := range pages {
+			va := p &^ 0xC0000000 // keep out of reserved region
+			b.Insert(va, p&mmu.PTEPFNMask)
+			if !b.Probe(va) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the TB is a cache of mmu.Translate — after a miss is serviced
+// by walking real page tables, Lookup returns the same PA that Translate
+// computes.
+func TestPropertyTBMatchesWalk(t *testing.T) {
+	pfnOf := func(va uint32) uint32 { return (va>>mmu.PageShift)*7 + 3 } // arbitrary injective-ish map
+	b := New()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		va := uint32(r.Intn(1 << 24))
+		if r.Intn(2) == 0 {
+			va |= 0x80000000
+		}
+		pa, hit := b.Lookup(va, Stream(r.Intn(2)))
+		if !hit {
+			b.Insert(va, pfnOf(va))
+			pa, hit = b.Lookup(va, DStream)
+			if !hit {
+				t.Fatalf("insert of %#x did not take", va)
+			}
+		}
+		want := (pfnOf(va)&mmu.PTEPFNMask)<<mmu.PageShift | va&mmu.PageMask
+		if pa != want {
+			t.Fatalf("va %#x: pa = %#x, want %#x", va, pa, want)
+		}
+	}
+	st := b.Stats()
+	if st.Hits[0]+st.Hits[1]+st.Misses[0]+st.Misses[1] < 5000 {
+		t.Error("lookups undercounted")
+	}
+}

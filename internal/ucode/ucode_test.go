@@ -1,0 +1,123 @@
+package ucode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefineAndLookup(t *testing.T) {
+	s := NewStore()
+	a := s.Define("ird", RowDecode, ClassDispatch)
+	b := s.Define("spec1.entry", RowSpec1, ClassDispatch)
+	if a == 0 || b == 0 {
+		t.Error("address 0 must stay reserved")
+	}
+	if a == b {
+		t.Error("addresses must be distinct")
+	}
+	if got := s.MustLookup("ird"); got != a {
+		t.Errorf("MustLookup = %d, want %d", got, a)
+	}
+	w := s.Word(a)
+	if w.Name != "ird" || w.Row != RowDecode || w.Class != ClassDispatch {
+		t.Errorf("Word = %+v", w)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Error("Lookup of missing name should fail")
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	s := NewStore()
+	s.Define("x", RowSimple, ClassCompute)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Define should panic")
+		}
+	}()
+	s.Define("x", RowSimple, ClassCompute)
+}
+
+func TestUndefinedWord(t *testing.T) {
+	s := NewStore()
+	w := s.Word(9999)
+	if w.Name != "(undefined)" {
+		t.Errorf("undefined word = %+v", w)
+	}
+}
+
+func TestRowAndClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for r := Row(0); r < NumRows; r++ {
+		str := r.String()
+		if seen[str] {
+			t.Errorf("duplicate row name %q", str)
+		}
+		seen[str] = true
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+}
+
+func TestPropertyAddressesSequentialAndResolvable(t *testing.T) {
+	f := func(names []string) bool {
+		s := NewStore()
+		defined := map[string]uint16{}
+		for i, n := range names {
+			key := n + "#" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + itoa(i)
+			if _, dup := defined[key]; dup {
+				continue
+			}
+			addr := s.Define(key, Row(i%int(NumRows)), Class(i%int(NumClasses)))
+			defined[key] = addr
+		}
+		for k, a := range defined {
+			if got := s.MustLookup(k); got != a {
+				return false
+			}
+			if s.Word(a).Name != k {
+				return false
+			}
+		}
+		return s.Len() == len(defined)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestListing(t *testing.T) {
+	s := NewStore()
+	s.Define("alpha.entry", RowSimple, ClassCompute)
+	s.Define("beta.read", RowMemMgmt, ClassRead)
+	l := s.Listing()
+	for _, want := range []string{"alpha.entry", "beta.read", "Simple", "Mem Mgmt", "compute", "read", "0001", "0002"} {
+		if !containsStr(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package vax
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecifierRoundTrip(t *testing.T) {
+	cases := []struct {
+		s Specifier
+		t DataType
+	}{
+		{Specifier{Mode: ModeLiteral, Disp: 0}, TypeLong},
+		{Specifier{Mode: ModeLiteral, Disp: 63}, TypeLong},
+		{Specifier{Mode: ModeRegister, Base: R5}, TypeLong},
+		{Specifier{Mode: ModeRegDeferred, Base: R1}, TypeByte},
+		{Specifier{Mode: ModeAutoDec, Base: SP}, TypeLong},
+		{Specifier{Mode: ModeAutoInc, Base: R3}, TypeWord},
+		{Specifier{Mode: ModeAutoIncDef, Base: R9}, TypeLong},
+		{Specifier{Mode: ModeImmediate, Imm: 0xDEADBEEF}, TypeLong},
+		{Specifier{Mode: ModeImmediate, Imm: 0x7F}, TypeByte},
+		{Specifier{Mode: ModeAbsolute, Imm: 0x80001234}, TypeLong},
+		{Specifier{Mode: ModeByteDisp, Base: FP, Disp: -8}, TypeLong},
+		{Specifier{Mode: ModeByteDispDef, Base: R2, Disp: 12}, TypeLong},
+		{Specifier{Mode: ModeWordDisp, Base: AP, Disp: -3000}, TypeLong},
+		{Specifier{Mode: ModeWordDispDef, Base: R7, Disp: 1024}, TypeWord},
+		{Specifier{Mode: ModeLongDisp, Base: R11, Disp: 1 << 20}, TypeLong},
+		{Specifier{Mode: ModeLongDispDef, Base: R0, Disp: -(1 << 20)}, TypeQuad},
+		{Specifier{Mode: ModeRegDeferred, Base: R4, Indexed: true, Index: R6}, TypeLong},
+		{Specifier{Mode: ModeLongDisp, Base: R8, Disp: 400, Indexed: true, Index: R2}, TypeLong},
+	}
+	for _, c := range cases {
+		buf, err := EncodeSpecifier(nil, c.s, c.t)
+		if err != nil {
+			t.Fatalf("encode %v: %v", c.s, err)
+		}
+		got, n, err := DecodeSpecifier(buf, c.t)
+		if err != nil {
+			t.Fatalf("decode %v: %v", c.s, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%v: decoded %d of %d bytes", c.s, n, len(buf))
+		}
+		if got != c.s {
+			t.Errorf("round trip %v -> % x -> %v", c.s, buf, got)
+		}
+	}
+}
+
+func TestSpecifierEncodeErrors(t *testing.T) {
+	if _, err := EncodeSpecifier(nil, Specifier{Mode: ModeLiteral, Disp: 64}, TypeLong); err != ErrBadLiteral {
+		t.Errorf("literal 64: err = %v, want ErrBadLiteral", err)
+	}
+	if _, err := EncodeSpecifier(nil, Specifier{Mode: ModeRegister, Base: R1, Indexed: true, Index: R2}, TypeLong); err != ErrNotIndexable {
+		t.Errorf("indexed register mode: err = %v, want ErrNotIndexable", err)
+	}
+	if _, err := EncodeSpecifier(nil, Specifier{Mode: ModeRegDeferred, Base: R1, Indexed: true, Index: PC}, TypeLong); err != ErrBadIndex {
+		t.Errorf("PC index: err = %v, want ErrBadIndex", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	// Word displacement mode with only one displacement byte present.
+	if _, _, err := DecodeSpecifier([]byte{0xC5, 0x01}, TypeLong); err != ErrTruncated {
+		t.Errorf("truncated word disp: err = %v, want ErrTruncated", err)
+	}
+	if _, _, err := DecodeSpecifier(nil, TypeLong); err != ErrTruncated {
+		t.Errorf("empty: err = %v, want ErrTruncated", err)
+	}
+	if _, err := Decode([]byte{byte(MOVL), 0x51}); err == nil {
+		t.Error("MOVL with one specifier should fail to decode")
+	}
+}
+
+// randomSpecifier builds a random but encodable specifier for property tests.
+func randomSpecifier(r *rand.Rand, t DataType) Specifier {
+	for {
+		mode := AddrMode(r.Intn(NumAddrModes))
+		s := Specifier{Mode: mode, Base: Reg(r.Intn(12))}
+		switch mode {
+		case ModeLiteral:
+			s.Disp = int32(r.Intn(64))
+			s.Base = 0
+		case ModeImmediate:
+			s.Imm = r.Uint64() & (1<<(8*uint(t.Size())) - 1)
+			s.Base = 0
+		case ModeAbsolute:
+			s.Imm = uint64(r.Uint32())
+			s.Base = 0
+		case ModeByteDisp, ModeByteDispDef:
+			s.Disp = int32(int8(r.Uint32()))
+		case ModeWordDisp, ModeWordDispDef:
+			s.Disp = int32(int16(r.Uint32()))
+		case ModeLongDisp, ModeLongDispDef:
+			s.Disp = int32(r.Uint32())
+		}
+		if mode.Indexable() && r.Intn(4) == 0 {
+			s.Indexed = true
+			s.Index = Reg(r.Intn(12))
+		}
+		return s
+	}
+}
+
+func TestPropertySpecifierRoundTrip(t *testing.T) {
+	types := []DataType{TypeByte, TypeWord, TypeLong, TypeQuad, TypeFloatF, TypeFloatD}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dt := types[r.Intn(len(types))]
+		s := randomSpecifier(r, dt)
+		buf, err := EncodeSpecifier(nil, s, dt)
+		if err != nil {
+			return false
+		}
+		got, n, err := DecodeSpecifier(buf, dt)
+		return err == nil && n == len(buf) && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInstructionRoundTrip(t *testing.T) {
+	ops := All()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		info := &ops[r.Intn(len(ops))]
+		in := Instruction{Info: info}
+		for _, os := range info.Specs {
+			in.Specs = append(in.Specs, randomSpecifier(r, os.Type))
+		}
+		switch info.BranchDisp {
+		case TypeByte:
+			in.Disp = int32(int8(r.Uint32()))
+		case TypeWord:
+			in.Disp = int32(int16(r.Uint32()))
+		}
+		buf, err := in.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil || got.Size != len(buf) || got.Info != info || got.Disp != in.Disp {
+			return false
+		}
+		for i := range in.Specs {
+			if got.Specs[i] != in.Specs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstructionEncodeSpecCountMismatch(t *testing.T) {
+	in := Instruction{Info: Lookup(MOVL), Specs: []Specifier{{Mode: ModeRegister, Base: R0}}}
+	if _, err := in.Encode(nil); err == nil {
+		t.Error("MOVL with 1 specifier should fail to encode")
+	}
+}
+
+func TestModeStringsDistinct(t *testing.T) {
+	seen := map[string]AddrMode{}
+	for m := AddrMode(0); m < AddrMode(NumAddrModes); m++ {
+		s := m.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("modes %v and %v share string %q", prev, m, s)
+		}
+		seen[s] = m
+	}
+}

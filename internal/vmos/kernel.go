@@ -1,0 +1,158 @@
+package vmos
+
+import "fmt"
+
+// kernelSource returns the kernel, written in VAX assembly and assembled
+// into system space. Handler conventions:
+//
+//   - interrupt handlers preserve every register they touch (PUSHR/POPR,
+//     contributing the multi-register push/pop traffic VMS shows);
+//   - CHMK services clobber R0-R5 (the VMS convention for R0/R1, widened
+//     because the string services use MOVC3, which architecturally
+//     destroys R0-R5);
+//   - the scheduler switches context with SVPCTX/LDPCTX, flushing the
+//     process half of the translation buffer exactly as VMS does.
+func (s *System) kernelSource() string {
+	return fmt.Sprintf(`
+; ------------------------------------------------------------------
+; vmos kernel: clock, terminal, fork, scheduler, CHMK services.
+; ------------------------------------------------------------------
+
+; Interval clock, IPL 24: count ticks, request a reschedule every
+; %[1]d ticks through the software interrupt request register.
+clock:	INCL	@#ticks
+	DECL	@#resched
+	BNEQ	clk1
+	MOVL	#%[1]d, @#resched
+	MTPR	#%[2]d, #20		; SIRR <- scheduler level
+clk1:	REI
+
+; Terminal controller, IPL 20: count the event, queue a request packet,
+; and kick the fork level to do the character processing.
+term:	PUSHR	#^X0003		; save R0, R1
+	INCL	@#termcnt
+	MOVAL	tqe, R0
+	INSQUE	(R0), @#tqh
+	REMQUE	(R0), R1
+	MOVL	@#termcnt, R0	; batch character processing: fork every
+	BICL2	#^XFFFFFFF8, R0	; eighth event
+	BNEQ	tnofork
+	MTPR	#%[3]d, #20		; SIRR <- fork level
+tnofork: POPR	#^X0003
+	REI
+
+; Fork level, IPL %[3]d: simulated character/packet processing.
+fork:	PUSHR	#^X003F		; MOVC3 destroys R0-R5
+	MOVC3	#16, fpkt, fdst
+	POPR	#^X003F
+	REI
+
+; Disk controller, IPL 21: completion interrupt. Dequeue the request,
+; copy the block into the staging buffer, and kick the fork level.
+disk:	PUSHR	#^X003F		; MOVC3 destroys R0-R5
+	INCL	@#diskdone
+	MOVAL	dqe, R0
+	REMQUE	(R0), R1
+	MOVC3	#64, dblk, dstage
+	MTPR	#%[3]d, #20		; SIRR <- fork level
+	POPR	#^X003F
+	REI
+
+; Scheduler, IPL %[2]d: round-robin over the PCB table.
+sched:	SVPCTX
+	MOVL	@#curproc, R0
+	INCL	R0
+	CMPL	R0, @#nproc
+	BLSS	sc1
+	CLRL	R0
+sc1:	MOVL	R0, @#curproc
+	MOVAL	pcbtab, R1
+	MOVL	(R1)[R0], R2
+	MTPR	R2, #16		; PCBB
+	LDPCTX
+	REI
+
+; CHMK dispatcher. Code arrives on top of the kernel stack.
+chmk:	MOVL	(SP)+, R0
+	CASEL	R0, #0, #4, svcyld, svctrd, svctwr, svctim, svcdio
+	REI			; unknown service: ignore
+
+svcyld:	MTPR	#%[2]d, #20		; yield = ask for a reschedule
+	REI
+
+; Terminal read: copy the next canned script line into the user buffer.
+; In: R2 = user buffer, R3 = length (<= 64). Clobbers R0-R5.
+svctrd:	MOVAL	script, R1
+	ADDL2	@#scroff, R1
+	MOVC3	R3, (R1), (R2)
+	MOVL	@#scroff, R0
+	ADDL2	#64, R0
+	BICL2	#^XFFFFF03F, R0	; wrap within the 4 KB script, 64-aligned
+	MOVL	R0, @#scroff
+	REI
+
+; Terminal write: copy the user buffer to the output sink and cycle a
+; request packet through the device queue. Clobbers R0-R5.
+svctwr:	MOVAL	sink, R1
+	MOVC3	R3, (R2), (R1)
+	MOVAL	qe1, R0
+	INSQUE	(R0), @#qh
+	REMQUE	(R0), R1
+	REI
+
+; Get time: R1 <- tick count.
+svctim:	MOVL	@#ticks, R1
+	REI
+
+; Disk I/O: queue a request packet and return; the transfer completes
+; asynchronously with a disk interrupt. Clobbers R0, R1.
+svcdio:	INCL	@#diskreq
+	MOVAL	dqe, R0
+	INSQUE	(R0), @#dqh
+	REI
+
+; Reserved/privileged instruction in user mode, and fatal faults: stop
+; the machine so the failure is visible.
+rsvdop:	HALT
+fatal:	HALT
+
+; ------------------------------------------------------------------
+; Kernel data.
+; ------------------------------------------------------------------
+	.align	4
+ticks:	.long	0
+resched: .long	%[1]d
+curproc: .long	0
+nproc:	.long	0
+termcnt: .long	0
+scroff:	.long	0
+diskreq: .long	0
+diskdone: .long	0
+dqh:	.long	dqh, dqh	; disk request queue head
+dqe:	.long	0, 0
+dblk:	.ascii	"disk-block-data-disk-block-data-disk-block-data-disk-block-0064"
+dstage:	.space	64
+qh:	.long	qh, qh		; device queue head (self-linked = empty)
+qe1:	.long	0, 0
+tqh:	.long	tqh, tqh	; terminal request queue head
+tqe:	.long	0, 0
+fpkt:	.ascii	"terminal-packet!"
+fdst:	.space	16
+sink:	.space	256
+pcbtab:	.space	%[4]d
+	.align	4
+script:	.space	4096
+`, s.cfg.ReschedTicks, schedLevel, forkLevel, 4*s.cfg.MaxProcesses)
+}
+
+// ScriptText fills the kernel's canned terminal-input script (what the
+// Remote Terminal Emulator "types"). Call after Boot.
+func (s *System) SetScriptText(text string) {
+	off := s.kern.MustAddr("script") - s.kern.Org
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = ' '
+	}
+	copy(buf, text)
+	s.m.Mem.Load(kernPhys+off, buf)
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"vax780/internal/asm"
+	"vax780/internal/vax"
+)
+
+// StaticMix is the static (as-assembled) opcode composition of a generated
+// program: a sanity lens on the generator, distinct from the dynamic mix
+// the monitor measures.
+type StaticMix struct {
+	Instructions int
+	Bytes        int // code bytes (up to the first undecodable byte)
+	Groups       [vax.NumGroups]int
+	PCChanging   int
+}
+
+// Freq returns a group's share of static instructions.
+func (s *StaticMix) Freq(g vax.Group) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Groups[g]) / float64(s.Instructions)
+}
+
+// AnalyzeStatic walks a generated image from its entry point, decoding
+// until the code region ends (generated programs put data after the code,
+// and the first data bytes do not decode as instructions, or decode past
+// the known code labels — the walk also stops at the generated data label).
+func AnalyzeStatic(im *asm.Image) (*StaticMix, error) {
+	end := uint32(len(im.Bytes))
+	if dataAddr, ok := im.Addr("data"); ok {
+		end = dataAddr - im.Org
+	}
+	// Procedure entry masks are data words at each procN label; the walk
+	// must skip them.
+	maskAt := map[uint32]bool{}
+	for name, addr := range im.Labels {
+		if strings.HasPrefix(name, "proc") {
+			maskAt[addr-im.Org] = true
+		}
+	}
+	mix := &StaticMix{}
+	off := uint32(0) // entry is the image origin
+	for off < end {
+		if maskAt[off] {
+			off += 2 // the CALLS entry mask word
+			continue
+		}
+		in, err := vax.Decode(im.Bytes[off:])
+		if err != nil {
+			return nil, fmt.Errorf("workload: analyze at +%#x: %w", off, err)
+		}
+		mix.Instructions++
+		mix.Bytes += in.Size
+		mix.Groups[in.Info.Group]++
+		if in.Info.PCClass != vax.PCNone {
+			mix.PCChanging++
+		}
+		off += uint32(in.Size)
+		// CASEx displacement tables follow the instruction in the
+		// I-stream; generated case tables always have three entries.
+		if in.Info.PCClass == vax.PCCase {
+			off += 6
+		}
+	}
+	return mix, nil
+}
+
+// String renders the static mix.
+func (s *StaticMix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d instructions, %d bytes (%.2f avg)\n",
+		s.Instructions, s.Bytes, float64(s.Bytes)/float64(s.Instructions))
+	for g := vax.Group(0); g < vax.NumGroups; g++ {
+		fmt.Fprintf(&sb, "  %-10v %6.2f%%\n", g, 100*s.Freq(g))
+	}
+	fmt.Fprintf(&sb, "  %-10s %6.2f%%\n", "PC-chg", 100*float64(s.PCChanging)/float64(s.Instructions))
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+// Package vax780 reproduces Emer & Clark, "A Characterization of Processor
+// Performance in the VAX-11/780" (ISCA 1984): a cycle-level model of the
+// VAX-11/780 processor, the µPC histogram monitor the paper introduced, a
+// miniature timesharing operating system, the paper's five measurement
+// workloads, and the reduction pipeline that regenerates every table of
+// the paper from a raw histogram.
+//
+// The shortest path from zero to a measurement:
+//
+//	m := vax780.NewMachine(vax780.MachineConfig{})
+//	mon := vax780.NewMonitor()
+//	mon.Start()
+//	m.AttachProbe(mon)
+//	// ... load a program (internal/asm) and m.Run(budget) ...
+//	report := vax780.Reduce(mon.Snapshot())
+//	fmt.Println(report.CPI())
+//
+// Or reproduce the whole paper:
+//
+//	ctx, _ := vax780.MeasureComposite(8_000_000, vax780.MachineConfig{})
+//	for _, out := range vax780.RunAllExperiments(ctx) {
+//	    fmt.Println(out.Text)
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results.
+package vax780
+
+import (
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/experiments"
+	"vax780/internal/ucode"
+	"vax780/internal/workload"
+)
+
+// Machine is the simulated VAX-11/780 processor.
+type Machine = cpu.Machine
+
+// MachineConfig selects memory size, cache/bus timing and the ablation
+// knobs (decode overlap, character write spacing, microcode patches).
+type MachineConfig = cpu.Config
+
+// NewMachine builds a VAX-11/780 with the paper's default parameters.
+func NewMachine(cfg MachineConfig) *Machine { return cpu.New(cfg) }
+
+// Monitor is the µPC histogram board (the paper's measurement hardware).
+type Monitor = core.Monitor
+
+// NewMonitor returns a stopped, cleared monitor.
+func NewMonitor() *Monitor { return core.NewMonitor() }
+
+// Histogram is the raw product of a measurement: two counters per
+// control-store location. Histograms sum into composites.
+type Histogram = core.Histogram
+
+// Report is the reduction of a histogram into the paper's tables.
+type Report = core.Report
+
+// Reduce interprets a raw histogram against this model's microcode map.
+func Reduce(h *Histogram) *Report { return core.Reduce(h, cpu.CS) }
+
+// ControlStore returns the microcode control-store map the monitor and the
+// reduction share.
+func ControlStore() *ucode.Store { return cpu.CS }
+
+// Workload is one of the paper's five measurement workloads.
+type Workload = workload.Profile
+
+// Workloads returns the five workloads of the paper's §2.2 in order: two
+// live-timesharing loads and three RTE loads.
+func Workloads() []Workload { return workload.All() }
+
+// MeasureWorkload runs one workload under a collecting monitor.
+func MeasureWorkload(p Workload, cycles uint64, cfg MachineConfig) (*workload.Result, error) {
+	return workload.Run(p, cycles, cfg)
+}
+
+// MeasureComposite measures all five workloads and sums their histograms,
+// producing the context every experiment runs against.
+func MeasureComposite(cyclesEach uint64, cfg MachineConfig) (*experiments.Context, error) {
+	return experiments.NewContext(cyclesEach, cfg)
+}
+
+// Experiment is one reproduced table or figure with its shape checks.
+type Experiment = experiments.Outcome
+
+// RunAllExperiments reproduces every table and figure of the paper against
+// one composite measurement.
+func RunAllExperiments(ctx *experiments.Context) []Experiment {
+	return experiments.RunAll(ctx)
+}

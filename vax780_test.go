@@ -1,0 +1,68 @@
+package vax780
+
+import (
+	"testing"
+
+	"vax780/internal/asm"
+	"vax780/internal/vax"
+)
+
+// TestPublicAPIQuickstart exercises the root package's facade end to end:
+// machine, monitor, reduction.
+func TestPublicAPIQuickstart(t *testing.T) {
+	im, err := asm.Assemble(0x1000, `
+	MOVL	#10, R7
+	CLRL	R6
+l:	ADDL2	R7, R6
+	SOBGTR	R7, l
+	HALT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(MachineConfig{MemBytes: 1 << 20})
+	mon := NewMonitor()
+	mon.Start()
+	m.AttachProbe(mon)
+	m.Mem.Load(im.Org, im.Bytes)
+	m.R[vax.SP] = 0x8000
+	m.SetPC(im.Org)
+	res := m.Run(100_000)
+	if res.Err != nil || !res.Halted {
+		t.Fatalf("run: halted=%v err=%v", res.Halted, res.Err)
+	}
+	if m.R[6] != 55 {
+		t.Errorf("sum = %d, want 55", m.R[6])
+	}
+	r := Reduce(mon.Snapshot())
+	if r.Instructions != res.Instructions {
+		t.Errorf("reduced instructions %d != %d", r.Instructions, res.Instructions)
+	}
+	if r.CPI() <= 0 {
+		t.Error("CPI not positive")
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 5 {
+		t.Fatalf("workloads = %d, want 5 (the paper's)", len(ws))
+	}
+	res, err := MeasureWorkload(ws[0], 300_000, MachineConfig{MemBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Reduce(res.Hist).Instructions == 0 {
+		t.Error("nothing measured")
+	}
+}
+
+func TestControlStoreExposed(t *testing.T) {
+	cs := ControlStore()
+	if _, ok := cs.Lookup("decode.ird"); !ok {
+		t.Error("control store missing the decode dispatch")
+	}
+	if cs.Len() < 100 {
+		t.Errorf("control store suspiciously small: %d words", cs.Len())
+	}
+}
