@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the full pre-merge gate: build,
+# go vet, the repo's own vaxlint static analyzers (cross-table invariant
+# proofs, see DESIGN.md "Static analysis & invariants"), and the test
+# suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet lint test race bench
+
+check: build vet lint race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/vaxlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every table and figure of the paper (see bench_test.go).
+bench:
+	$(GO) test -bench . -benchtime 1x

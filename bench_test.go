@@ -3,7 +3,10 @@
 // out. Each table bench measures against a shared composite measurement
 // (built once, like the paper's hour-long sessions) and reports the
 // headline quantity of its table as a custom metric next to the paper's
-// value, so `go test -bench .` prints the whole reproduction.
+// value, so `go test -bench .` prints the whole reproduction (`make
+// bench`). The paper constants these benches compare against live only in
+// internal/paper; the paperconst analyzer run by `make check` keeps it
+// that way.
 package vax780
 
 import (

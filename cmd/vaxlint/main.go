@@ -1,0 +1,72 @@
+// Command vaxlint statically proves the simulator's cross-table
+// invariants: opcode table ↔ execute-microroutine registration, microword
+// name references ↔ control-store declarations, paper headline numbers ↔
+// internal/paper, and the single-threaded Machine/probe contract. It is a
+// multichecker-style driver for the analyzers in internal/analysis and is
+// part of the tier-1 verify (see Makefile `check`).
+//
+// Usage:
+//
+//	go run ./cmd/vaxlint ./...          # whole module (the normal form)
+//	go run ./cmd/vaxlint -vet=false .   # skip the standard go vet passes
+//	go run ./cmd/vaxlint -list          # show the suite
+//
+// Exit status is 0 when the tree is clean, 1 when any analyzer reports a
+// finding (or go vet fails), 2 on a load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"vax780/internal/analysis"
+)
+
+func main() {
+	runVet := flag.Bool("vet", true, "also run the standard `go vet` passes")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exitCode := 0
+	if *runVet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			exitCode = 1
+		}
+	}
+
+	pkgs, err := analysis.LoadModule(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaxlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaxlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		exitCode = 1
+	}
+	os.Exit(exitCode)
+}

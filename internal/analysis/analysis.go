@@ -1,0 +1,145 @@
+// Package analysis is a vendored-in, dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework, carrying the project's custom
+// static checks ("vaxlint", see cmd/vaxlint).
+//
+// The model's fidelity to Emer & Clark rests on cross-file invariants —
+// every opcode in internal/vax's opTable must have exactly one register()ed
+// execute microroutine in internal/cpu, every microword name referenced by
+// the reduction engine must resolve in the control-store map built by
+// internal/cpu/cs.go, the paper's headline numbers must live only in
+// internal/paper, and the Machine/Probe pair is single-threaded. These are
+// otherwise enforced by runtime panics or not at all; the analyzers in
+// this package prove them at build time.
+//
+// The API mirrors go/analysis (Analyzer, Pass, Diagnostic, an
+// analysistest-style harness under analysis/analysistest) so the suite can
+// be ported to the real framework verbatim if golang.org/x/tools is ever
+// vendored; the build environment for this repository is offline, so the
+// framework itself is reimplemented here on top of go/ast and go/types
+// only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+
+	// ModuleLevel marks analyzers whose invariant spans packages (e.g. the
+	// opcode table lives in internal/vax, the handlers in internal/cpu).
+	// A module-level analyzer runs once per load with Pass.Pkg == nil and
+	// inspects Pass.All; a package-level analyzer runs once per package.
+	ModuleLevel bool
+
+	// Run executes the check, reporting findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Package is one type-checked package of the load.
+type Package struct {
+	Path  string // import path
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries one analyzer invocation over one package (or, for
+// module-level analyzers, over the whole load).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package   // package under analysis; nil for module-level runs
+	All      []*Package // every package in the load, in dependency order
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the loaded packages and returns every
+// finding, sorted by file position. A non-nil error means an analyzer
+// itself failed, not that it found problems.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	var diags []Diagnostic
+	fset := pkgs[0].Fset
+	for _, a := range analyzers {
+		if a.ModuleLevel {
+			pass := &Pass{Analyzer: a, Fset: fset, All: pkgs, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, All: pkgs, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// All is the vaxlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{ExecTable, UWRef, PaperConst, ProbeSafe}
+}
+
+// WalkWithStack walks every file of pkg, calling fn with the node and the
+// stack of its ancestors (outermost first, not including n itself).
+func WalkWithStack(pkg *Package, fn func(stack []ast.Node, n ast.Node)) {
+	var stack []ast.Node
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			fn(stack, n)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ExecTable cross-checks the opcode table in internal/vax against the
+// register()ed execute microroutines in internal/cpu.
+//
+// The architectural table is the `var opTable = []OpInfo{...}` literal;
+// handlers are attached with register(vax.OP, fn), either directly, by
+// ranging over a []vax.Opcode literal, or by ranging over a slice of
+// structs with Opcode-typed fields. The analyzer resolves all three forms
+// statically and reports:
+//
+//   - an opTable entry with no registered handler (would fail at run time
+//     only when the opcode is first executed);
+//   - a duplicate registration (today a runtime init panic);
+//   - an orphaned handler registered for an opcode with no table entry;
+//   - a register() call whose opcode argument cannot be resolved
+//     statically (keeps the table machine-checkable as the code grows).
+var ExecTable = &Analyzer{
+	Name:        "exectable",
+	Doc:         "cross-check the opcode table against register()ed execute microroutines",
+	ModuleLevel: true,
+	Run:         runExecTable,
+}
+
+// tableEntry is one opTable row as seen in source.
+type tableEntry struct {
+	name string
+	pos  token.Pos
+}
+
+// registration is one statically resolved register() call.
+type registration struct {
+	name string
+	pos  token.Pos
+}
+
+func runExecTable(pass *Pass) error {
+	var table []tableEntry
+	var regs []registration
+	for _, pkg := range pass.All {
+		table = append(table, opTableEntries(pkg)...)
+		regs = append(regs, registerCalls(pass, pkg)...)
+	}
+	if len(table) == 0 {
+		// No opcode table in the load (e.g. a partial pattern): nothing
+		// to cross-check.
+		return nil
+	}
+
+	inTable := make(map[string]token.Pos, len(table))
+	for _, e := range table {
+		inTable[e.name] = e.pos
+	}
+	first := make(map[string]token.Pos, len(regs))
+	for _, r := range regs {
+		if prev, dup := first[r.name]; dup {
+			pass.Reportf(r.pos, "opcode %s: duplicate execute registration (previous at %s)",
+				r.name, pass.Fset.Position(prev))
+			continue
+		}
+		first[r.name] = r.pos
+		if _, ok := inTable[r.name]; !ok {
+			pass.Reportf(r.pos, "opcode %s has a registered execute microroutine but no opTable entry", r.name)
+		}
+	}
+	for _, e := range table {
+		if _, ok := first[e.name]; !ok {
+			pass.Reportf(e.pos, "opcode %s has no registered execute microroutine", e.name)
+		}
+	}
+	return nil
+}
+
+// opTableEntries extracts the opcode names of every `opTable = []OpInfo{...}`
+// row declared in pkg.
+func opTableEntries(pkg *Package) []tableEntry {
+	var out []tableEntry
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "opTable" || len(vs.Values) != 1 {
+				return true
+			}
+			cl, ok := vs.Values[0].(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				row, ok := elt.(*ast.CompositeLit)
+				if !ok || len(row.Elts) == 0 {
+					continue
+				}
+				if name, ok := opcodeRefName(row.Elts[0]); ok {
+					out = append(out, tableEntry{name: name, pos: row.Pos()})
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+// opcodeRefName returns the constant name of a direct opcode reference
+// (HALT or vax.HALT).
+func opcodeRefName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		if _, ok := e.X.(*ast.Ident); ok {
+			return e.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// registerCalls resolves every register(...) call in pkg to the set of
+// opcode constant names it registers.
+func registerCalls(pass *Pass, pkg *Package) []registration {
+	var out []registration
+	WalkWithStack(pkg, func(stack []ast.Node, n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "register" || len(call.Args) < 1 {
+			return
+		}
+		names, ok := resolveOpcodeArg(pkg, stack, call.Args[0])
+		if !ok {
+			pass.Reportf(call.Args[0].Pos(),
+				"register() opcode argument cannot be resolved statically; use a constant or range over a composite literal")
+			return
+		}
+		for _, nm := range names {
+			out = append(out, registration{name: nm, pos: call.Pos()})
+		}
+	})
+	return out
+}
+
+// resolveOpcodeArg maps a register() first argument to opcode constant
+// names. It understands three shapes:
+//
+//	register(vax.MOVL, fn)                      // direct constant
+//	for _, op := range []vax.Opcode{...} { register(op, fn) }
+//	for _, e := range []struct{...}{...} { register(e.op2, fn) }
+func resolveOpcodeArg(pkg *Package, stack []ast.Node, arg ast.Expr) ([]string, bool) {
+	// Direct constant reference?
+	if id, ok := arg.(*ast.Ident); ok {
+		if c, ok := pkg.Info.Uses[id].(*types.Const); ok {
+			return []string{c.Name()}, true
+		}
+		// A plain variable: look for the enclosing range-over-literal.
+		return rangeElements(pkg, stack, id, "")
+	}
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if c, ok := pkg.Info.Uses[sel.Sel].(*types.Const); ok {
+			return []string{c.Name()}, true
+		}
+		// e.field: resolve through the enclosing range statement.
+		if base, ok := sel.X.(*ast.Ident); ok {
+			return rangeElements(pkg, stack, base, sel.Sel.Name)
+		}
+	}
+	return nil, false
+}
+
+// rangeElements finds the innermost enclosing `for _, v := range <lit>`
+// whose value variable is v, and extracts the opcode names of the literal
+// elements; field selects the struct field when the elements are structs
+// ("" for plain opcode elements).
+func rangeElements(pkg *Package, stack []ast.Node, v *ast.Ident, field string) ([]string, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		rs, ok := stack[i].(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		val, ok := rs.Value.(*ast.Ident)
+		if !ok || val.Name != v.Name {
+			continue
+		}
+		lit, ok := rs.X.(*ast.CompositeLit)
+		if !ok {
+			return nil, false
+		}
+		var names []string
+		for _, elt := range lit.Elts {
+			e := elt
+			if field != "" {
+				row, ok := elt.(*ast.CompositeLit)
+				if !ok {
+					return nil, false
+				}
+				fe, ok := structFieldValue(pkg, lit, row, field)
+				if !ok {
+					return nil, false
+				}
+				e = fe
+			}
+			name, ok := opcodeRefName(e)
+			if !ok {
+				return nil, false
+			}
+			names = append(names, name)
+		}
+		return names, true
+	}
+	return nil, false
+}
+
+// structFieldValue returns the expression initializing the named field of
+// one struct row in a slice-of-structs composite literal.
+func structFieldValue(pkg *Package, slice *ast.CompositeLit, row *ast.CompositeLit, field string) (ast.Expr, bool) {
+	// Keyed form: {op2: vax.BISL2, ...}
+	for _, elt := range row.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if k, ok := kv.Key.(*ast.Ident); ok && k.Name == field {
+				return kv.Value, true
+			}
+		}
+	}
+	// Positional form: field order comes from the slice's element type.
+	tv, ok := pkg.Info.Types[slice]
+	if !ok {
+		return nil, false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return nil, false
+	}
+	st, ok := sl.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			if i < len(row.Elts) {
+				return row.Elts[i], true
+			}
+			return nil, false
+		}
+	}
+	return nil, false
+}

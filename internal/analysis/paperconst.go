@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// paperHeadlines maps each of the paper's headline numbers — the CPI, the
+// six Table 8 column marginals, and the Table 3 per-instruction event
+// rates — to the internal/paper identifier that owns it. These values
+// must have a single source of truth: a copy hard-coded elsewhere drifts
+// silently when a garbled table cell is re-reconstructed.
+var paperHeadlines = map[float64]string{
+	10.593: "paper.CPI",
+	7.267:  "paper.Table8Total.Compute",
+	0.783:  "paper.Table8Total.DRead",
+	0.964:  "paper.Table8Total.RStall",
+	0.409:  "paper.Table8Total.DWrite",
+	0.450:  "paper.Table8Total.WStall",
+	0.720:  "paper.Table8Total.IBStall",
+	0.726:  "paper.Table3FirstSpecs",
+	0.758:  "paper.Table3OtherSpecs",
+	0.312:  "paper.Table3BranchDisps",
+}
+
+// paperConstAllowed are the package-path suffixes where the numbers may
+// appear: the table of record itself, the experiment drivers that render
+// EXPERIMENTS.md against it, and this analyzer.
+var paperConstAllowed = []string{
+	"internal/paper",
+	"internal/experiments",
+	"internal/analysis",
+}
+
+// PaperConst flags hard-coded paper headline numbers outside
+// internal/paper, keeping Emer & Clark's published values in one place.
+var PaperConst = &Analyzer{
+	Name: "paperconst",
+	Doc:  "flag paper headline numbers hard-coded outside internal/paper",
+	Run:  runPaperConst,
+}
+
+// hasTablePrecision reports whether a float literal is written with the
+// tables' three-decimal precision. A two-decimal 0.72 is a probability, a
+// three-decimal 0.720 is the IB-stall marginal; requiring the canonical
+// spelling keeps coincidental thresholds out of the report.
+func hasTablePrecision(text string) bool {
+	if strings.ContainsAny(text, "eEpP") {
+		return true // scientific notation: trust the value match
+	}
+	i := strings.IndexByte(text, '.')
+	return i >= 0 && len(text)-i-1 >= 3
+}
+
+func runPaperConst(pass *Pass) error {
+	for _, suffix := range paperConstAllowed {
+		if strings.HasSuffix(pass.Pkg.Path, suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.FLOAT {
+				return true
+			}
+			v, err := strconv.ParseFloat(lit.Value, 64)
+			if err != nil || !hasTablePrecision(lit.Value) {
+				return true
+			}
+			if owner, hit := paperHeadlines[v]; hit {
+				pass.Reportf(lit.Pos(),
+					"paper headline number %s hard-coded outside internal/paper; use %s",
+					lit.Value, owner)
+			}
+			return true
+		})
+	}
+	return nil
+}

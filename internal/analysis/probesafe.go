@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ProbeSafe documents and enforces the single-threaded probe contract.
+//
+// The µPC histogram board (core.Monitor, core.Histogram) mirrors the
+// paper's passive hardware monitor: exactly one Machine drives it, from
+// one goroutine, and its counters are read through the command interface
+// (Start/Stop/ReadBucket/Snapshot). Before future sharding work
+// introduces concurrency, the analyzer flags the two ways the contract
+// can be violated today:
+//
+//   - direct field access to core.Monitor or core.Histogram from outside
+//     their defining package (counter pokes bypassing the Unibus-style
+//     command interface);
+//   - a go statement that captures a *Machine: the simulator core and its
+//     probe are not safe for concurrent use; parallel measurement must
+//     shard by Machine, one per goroutine, and merge Histograms.
+var ProbeSafe = &Analyzer{
+	Name: "probesafe",
+	Doc:  "enforce the single-threaded Machine/probe contract",
+	Run:  runProbeSafe,
+}
+
+func runProbeSafe(pass *Pass) error {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkCounterAccess(pass, n)
+			case *ast.GoStmt:
+				checkGoCapture(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCounterAccess reports field selections on core.Monitor or
+// core.Histogram values from outside their defining package.
+func checkCounterAccess(pass *Pass, sel *ast.SelectorExpr) {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg() == pass.Pkg.Types || obj.Pkg().Name() != "core" {
+		return
+	}
+	if obj.Name() != "Monitor" && obj.Name() != "Histogram" {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"direct access to %s.%s field %s outside package %s; use the monitor command interface (single-writer probe contract)",
+		obj.Pkg().Name(), obj.Name(), sel.Sel.Name, obj.Pkg().Name())
+}
+
+// checkGoCapture reports go statements whose call references a *Machine.
+func checkGoCapture(pass *Pass, g *ast.GoStmt) {
+	reported := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		named := namedOf(v.Type())
+		if named == nil || named.Obj().Name() != "Machine" {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine captures %s (via %q): Machine and its probe are single-threaded; shard by Machine and merge Histograms instead",
+			types.TypeString(v.Type(), types.RelativeTo(pass.Pkg.Types)), id.Name)
+		reported = true
+		return false
+	})
+}
+
+// namedOf unwraps pointers and aliases down to a named type, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vax780/internal/analysis"
+	"vax780/internal/analysis/analysistest"
+)
+
+func TestExecTable(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ExecTable, "exectable")
+}
+
+func TestUWRef(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.UWRef, "uwref")
+}
+
+func TestPaperConst(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PaperConst, "paperconst")
+}
+
+func TestProbeSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ProbeSafe, "probesafe")
+}

@@ -1,0 +1,67 @@
+// Package a seeds exectable violations: a table entry with no handler, a
+// duplicate registration, an orphaned handler, and a registration the
+// analyzer cannot resolve statically.
+package a
+
+type Opcode byte
+
+const (
+	HALT  Opcode = 0x00
+	NOP   Opcode = 0x01
+	RET   Opcode = 0x04
+	ADDL2 Opcode = 0xC0
+	ADDL3 Opcode = 0xC1
+	XORL2 Opcode = 0xCC
+	XORL3 Opcode = 0xCD
+	MOVL  Opcode = 0xD0
+	CLRL  Opcode = 0xD4
+)
+
+type OpInfo struct {
+	Code Opcode
+	Name string
+}
+
+var opTable = []OpInfo{
+	{HALT, "HALT"},
+	{NOP, "NOP"},
+	{ADDL2, "ADDL2"}, // want "opcode ADDL2 has no registered execute microroutine"
+	{ADDL3, "ADDL3"},
+	{XORL2, "XORL2"},
+	{XORL3, "XORL3"},
+	{MOVL, "MOVL"},
+	{CLRL, "CLRL"},
+}
+
+type Machine struct{}
+
+type execFn func(m *Machine)
+
+var execTable [256]execFn
+
+func register(op Opcode, fn execFn) { execTable[op] = fn }
+
+func nop(m *Machine) {}
+
+func init() {
+	register(HALT, nop)
+	register(NOP, nop)
+	register(MOVL, nop)
+	register(MOVL, nop) // want "opcode MOVL: duplicate execute registration"
+	register(RET, nop)  // want "opcode RET has a registered execute microroutine but no opTable entry"
+	register(Opcode(0xD5), nop) // want "cannot be resolved statically"
+
+	for _, op := range []Opcode{ADDL3, CLRL} {
+		register(op, nop)
+	}
+
+	for _, e := range []struct {
+		op2, op3 Opcode
+		n        int
+	}{
+		{XORL2, XORL3, 1},
+	} {
+		register(e.op2, nop)
+		register(e.op3, nop)
+	}
+}

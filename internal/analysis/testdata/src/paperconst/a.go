@@ -1,0 +1,14 @@
+// Package a seeds a paperconst violation: paper headline numbers
+// hard-coded outside internal/paper.
+package a
+
+const cpi = 10.593 // want "paper headline number 10.593 hard-coded outside internal/paper; use paper.CPI"
+
+var rstall = 0.964 // want "paper headline number 0.964 hard-coded outside internal/paper; use paper.Table8Total.RStall"
+
+// Two-decimal floats are probabilities/thresholds, not table cells.
+var threshold = 0.72
+
+var unrelated = 3.1415
+
+func use() (float64, float64, float64, float64) { return cpi, rstall, threshold, unrelated }

@@ -1,0 +1,25 @@
+// Package a seeds probesafe violations: counter pokes from outside the
+// monitor's package and goroutines capturing a *Machine.
+package a
+
+import "probesafe/core"
+
+type Machine struct{ probe *core.Monitor }
+
+func poke(mo *core.Monitor, h *core.Histogram) uint64 {
+	mo.Running = true // want "direct access to core.Monitor field Running"
+	h.Counts[3]++     // want "direct access to core.Histogram field Counts"
+	s := mo.Snapshot()
+	return s.Stalls[0] // want "direct access to core.Histogram field Stalls"
+}
+
+func helper(m *Machine) {}
+
+func spawn(m *Machine, done chan struct{}) {
+	go func() { // want "goroutine captures \\*Machine"
+		m.probe = nil
+		close(done)
+	}()
+	go helper(m) // want "goroutine captures \\*Machine"
+	go func() { close(done) }()
+}

@@ -1,0 +1,21 @@
+// Package core mirrors the shape of vax780/internal/core for the
+// probesafe testdata: a monitor with counter fields that must only be
+// touched through the command interface.
+package core
+
+type Histogram struct {
+	Counts [16]uint64
+	Stalls [16]uint64
+}
+
+type Monitor struct {
+	Hist    Histogram
+	Running bool
+}
+
+func (m *Monitor) Snapshot() *Histogram {
+	h := m.Hist
+	return &h
+}
+
+func (m *Monitor) Start() { m.Running = true }

@@ -1,0 +1,69 @@
+// Package a seeds uwref violations: a misspelled microword reference, an
+// unresolvable prefix, a duplicate declaration, and an uninitialised
+// microword handle field.
+package a
+
+type Row uint8
+
+type Class uint8
+
+const RowSimple Row = 0
+
+const ClassCompute Class = 0
+
+type Store struct{ byName map[string]uint16 }
+
+func NewStore() *Store { return &Store{byName: map[string]uint16{}} }
+
+func (s *Store) Define(name string, row Row, class Class) uint16 {
+	addr := uint16(len(s.byName) + 1)
+	s.byName[name] = addr
+	return addr
+}
+
+func (s *Store) Lookup(name string) (uint16, bool) {
+	a, ok := s.byName[name]
+	return a, ok
+}
+
+var CS = NewStore()
+
+func def(name string, row Row, class Class) uint16 { return CS.Define(name, row, class) }
+
+type bank struct {
+	stall uint16
+	data  uint16
+}
+
+func defBank(prefix string, row Row) bank {
+	return bank{
+		stall: def(prefix+".stall", row, ClassCompute),
+		data:  def(prefix+".data", row, ClassCompute),
+	}
+}
+
+var uw = struct {
+	entry uint16
+	taken uint16
+	dead  uint16 // want "microword handle field .dead. is never initialised"
+	banks [2]bank
+}{
+	entry: def("exec.simple.entry", RowSimple, ClassCompute),
+	taken: def("exec.simple.taken", RowSimple, ClassCompute),
+	banks: [2]bank{defBank("spec1", RowSimple), defBank("spec26", RowSimple)},
+}
+
+var dup = def("exec.simple.entry", RowSimple, ClassCompute) // want "duplicate microword name .exec.simple.entry."
+
+func lookups() {
+	CS.Lookup("exec.simple.entry")
+	CS.Lookup("exec.simple.taken")
+	CS.Lookup("spec1.stall")
+	CS.Lookup("spec26.data")
+	CS.Lookup("spec1.stal")        // want "no microword matching .spec1.stal."
+	CS.Lookup("exec.simple.entyr") // want "no microword matching .exec.simple.entyr."
+	_, _ = CS.Lookup("spec26." + dynamicSegment())
+	_ = "exec.bogus." // want "no microword matching .exec.bogus.."
+}
+
+func dynamicSegment() string { return "data" }

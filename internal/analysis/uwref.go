@@ -1,0 +1,465 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// UWRef proves that every microword name the module refers to resolves in
+// the control-store map built by def()/Store.Define() calls.
+//
+// Microword names are dot-paths ("exec.br.cond.entry"). The reduction
+// engine references them as string literals (directly, in lookup tables,
+// and as prefixes concatenated with computed segments), and a typo is
+// silent until a run panics in MustLookup or — worse — a Lookup miss
+// quietly drops a table cell. The analyzer:
+//
+//   - collects the declared names: literal Define/def arguments, plus
+//     names built by helper functions (one level of call-site constant
+//     propagation, so defSpecBank("spec1", …) declares "spec1.stall" and
+//     the pattern "spec1.disp.*");
+//   - reports duplicate literal declarations (today an init-time panic);
+//   - reports any microword-shaped string literal elsewhere in the module
+//     that resolves to no declared name or pattern (literals ending in "."
+//     are treated as prefixes and must be extensible to a declared name);
+//   - reports fields of a microword-handle struct literal (a struct
+//     initialised with def() calls) that are never assigned: a forgotten
+//     field keeps address 0, the reserved control-store location, and
+//     silently swallows its counts.
+var UWRef = &Analyzer{
+	Name:        "uwref",
+	Doc:         "resolve microword name references against the control-store declarations",
+	ModuleLevel: true,
+	Run:         runUWRef,
+}
+
+// uwDecls is the statically known control-store namespace.
+type uwDecls struct {
+	exact    map[string]token.Pos // literal (or fully folded) names
+	patterns []string             // names with '*' wildcards for computed segments
+	litPos   map[token.Pos]bool   // positions of literals that ARE declarations
+}
+
+func runUWRef(pass *Pass) error {
+	decls := &uwDecls{
+		exact:  make(map[string]token.Pos),
+		litPos: make(map[token.Pos]bool),
+	}
+	collectUWDecls(pass, decls)
+	if len(decls.exact) == 0 && len(decls.patterns) == 0 {
+		return nil // no control store in this load
+	}
+	roots := make(map[string]bool)
+	for name := range decls.exact {
+		roots[firstSegment(name)] = true
+	}
+	for _, p := range decls.patterns {
+		if seg := firstSegment(p); !strings.Contains(seg, "*") {
+			roots[seg] = true
+		}
+	}
+
+	for _, pkg := range pass.All {
+		checkUWFieldInit(pass, pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if decls.litPos[lit.Pos()] {
+					return true
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil || !looksLikeMicroword(v, roots) {
+					return true
+				}
+				if !decls.resolves(v) {
+					pass.Reportf(lit.Pos(), "no microword matching %q is defined in the control store", v)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectUWDecls walks every package gathering Define/def calls, folding
+// their name arguments, and instantiating helper-function name templates
+// at their call sites.
+func collectUWDecls(pass *Pass, decls *uwDecls) {
+	// tmpl is a declaration whose name depends on parameters of its
+	// enclosing function; markers "\x00name\x00" stand for the parameters.
+	type tmpl struct {
+		fn      *types.Func
+		params  []string // parameter names, in call-argument order
+		pattern string
+	}
+	var tmpls []tmpl
+
+	for _, pkg := range pass.All {
+		WalkWithStack(pkg, func(stack []ast.Node, n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isDefineCall(call) || len(call.Args) < 1 {
+				return
+			}
+			fd := enclosingFunc(stack)
+			params := paramNames(fd)
+			name, usesParam := foldName(pkg, call.Args[0], params)
+			decls.markLiterals(call.Args[0])
+			switch {
+			case usesParam && fd != nil:
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				tmpls = append(tmpls, tmpl{fn: obj, params: params, pattern: name})
+			case !strings.Contains(name, "*"):
+				if prev, dup := decls.exact[name]; dup {
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+						pass.Reportf(lit.Pos(), "duplicate microword name %q (previously defined at %s)",
+							name, pass.Fset.Position(prev))
+					}
+				} else {
+					decls.exact[name] = call.Args[0].Pos()
+				}
+			case name != "*":
+				decls.patterns = append(decls.patterns, name)
+			}
+		})
+	}
+
+	// Instantiate parameter-dependent templates at their call sites.
+	for _, t := range tmpls {
+		if t.fn == nil {
+			continue
+		}
+		instantiated := false
+		for _, pkg := range pass.All {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					var callee *ast.Ident
+					switch fun := call.Fun.(type) {
+					case *ast.Ident:
+						callee = fun
+					case *ast.SelectorExpr:
+						callee = fun.Sel
+					default:
+						return true
+					}
+					if pkg.Info.Uses[callee] != t.fn {
+						return true
+					}
+					name := t.pattern
+					for i, p := range t.params {
+						val := "*"
+						if i < len(call.Args) {
+							if lit, ok := call.Args[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+								if s, err := strconv.Unquote(lit.Value); err == nil {
+									val = s
+								}
+							}
+						}
+						name = strings.ReplaceAll(name, "\x00"+p+"\x00", val)
+					}
+					name = collapseStars(name)
+					instantiated = true
+					if !strings.Contains(name, "*") {
+						if _, dup := decls.exact[name]; !dup {
+							decls.exact[name] = call.Pos()
+						}
+					} else if name != "*" {
+						decls.patterns = append(decls.patterns, name)
+					}
+					return true
+				})
+			}
+		}
+		if !instantiated {
+			if p := collapseStars(wildcardMarkers(t.pattern)); p != "*" {
+				decls.patterns = append(decls.patterns, p)
+			}
+		}
+	}
+}
+
+// markLiterals records the positions of string literals inside a Define
+// name argument so the reference scan does not re-check declarations.
+func (d *uwDecls) markLiterals(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			d.litPos[lit.Pos()] = true
+		}
+		return true
+	})
+}
+
+// resolves reports whether a referenced name (or, with a trailing dot, a
+// name prefix) matches the declared namespace.
+func (d *uwDecls) resolves(ref string) bool {
+	if strings.HasSuffix(ref, ".") {
+		for name := range d.exact {
+			if strings.HasPrefix(name, ref) {
+				return true
+			}
+		}
+		for _, p := range d.patterns {
+			if globsIntersect(p, ref+"*") {
+				return true
+			}
+		}
+		return false
+	}
+	if _, ok := d.exact[ref]; ok {
+		return true
+	}
+	for _, p := range d.patterns {
+		if globsIntersect(p, ref) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost function declaration on the stack.
+func enclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// paramNames lists a function's parameter names in call-argument order.
+func paramNames(fd *ast.FuncDecl) []string {
+	if fd == nil || fd.Type.Params == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range fd.Type.Params.List {
+		for _, n := range f.Names {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// isDefineCall recognises the project's two declaration spellings:
+// the package-local helper def(...) and the Store.Define(...) method.
+func isDefineCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "def"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Define"
+	}
+	return false
+}
+
+// foldName folds a Define name expression into a string where computed
+// segments become "*" and references to enclosing-function parameters
+// become "\x00param\x00" markers. usesParam reports whether any marker
+// was produced.
+func foldName(pkg *Package, e ast.Expr, params []string) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			if s, err := strconv.Unquote(e.Value); err == nil {
+				return s, false
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			l, lp := foldName(pkg, e.X, params)
+			r, rp := foldName(pkg, e.Y, params)
+			return collapseStars(l + r), lp || rp
+		}
+	case *ast.Ident:
+		for _, p := range params {
+			if e.Name == p {
+				return "\x00" + p + "\x00", true
+			}
+		}
+		if c, ok := pkg.Info.Uses[e].(*types.Const); ok {
+			if c.Val().Kind() == constant.String {
+				return constant.StringVal(c.Val()), false
+			}
+		}
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sprintf" && len(e.Args) > 0 {
+			if f, ok := e.Args[0].(*ast.BasicLit); ok && f.Kind == token.STRING {
+				if format, err := strconv.Unquote(f.Value); err == nil {
+					return foldSprintf(pkg, format, e.Args[1:], params)
+				}
+			}
+		}
+	}
+	return "*", false
+}
+
+// foldSprintf substitutes the folded verb arguments into a Sprintf format.
+func foldSprintf(pkg *Package, format string, args []ast.Expr, params []string) (string, bool) {
+	var sb strings.Builder
+	usesParam := false
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			sb.WriteByte(format[i])
+			continue
+		}
+		if i+1 < len(format) && format[i+1] == '%' {
+			sb.WriteByte('%')
+			i++
+			continue
+		}
+		// Skip flags/width to the verb character.
+		j := i + 1
+		for j < len(format) && !isVerbChar(format[j]) {
+			j++
+		}
+		i = j
+		if arg < len(args) {
+			s, p := foldName(pkg, args[arg], params)
+			sb.WriteString(s)
+			usesParam = usesParam || p
+			arg++
+		} else {
+			sb.WriteString("*")
+		}
+	}
+	return collapseStars(sb.String()), usesParam
+}
+
+func isVerbChar(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// checkUWFieldInit verifies that every field of a microword-handle struct
+// literal (a keyed struct literal whose values call def/Define) is
+// initialised.
+func checkUWFieldInit(pass *Pass, pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			st, ok := cl.Type.(*ast.StructType)
+			if !ok || !containsDefineCall(cl) {
+				return true
+			}
+			set := make(map[string]bool)
+			for _, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if k, ok := kv.Key.(*ast.Ident); ok {
+						set[k.Name] = true
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if !set[name.Name] {
+						pass.Reportf(name.Pos(),
+							"microword handle field %q is never initialised; it keeps address 0, the reserved control-store location",
+							name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func containsDefineCall(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && isDefineCall(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// looksLikeMicroword reports whether a string literal is shaped like a
+// control-store dot-path rooted at a declared namespace root.
+func looksLikeMicroword(v string, roots map[string]bool) bool {
+	if !strings.Contains(v, ".") || strings.ContainsAny(v, "/ \t\n%\"") {
+		return false
+	}
+	seg := firstSegment(v)
+	if seg == "" || !roots[seg] {
+		return false
+	}
+	return true
+}
+
+func firstSegment(s string) string {
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func collapseStars(s string) string {
+	for strings.Contains(s, "**") {
+		s = strings.ReplaceAll(s, "**", "*")
+	}
+	return s
+}
+
+// wildcardMarkers turns leftover parameter markers into wildcards.
+func wildcardMarkers(s string) string {
+	var sb strings.Builder
+	in := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\x00' {
+			if !in {
+				sb.WriteByte('*')
+			}
+			in = !in
+			continue
+		}
+		if !in {
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// globsIntersect reports whether two patterns over literal characters and
+// '*' wildcards can match a common string.
+func globsIntersect(a, b string) bool {
+	type key struct{ i, j int }
+	memo := make(map[key]int) // 0 unknown, 1 true, 2 false
+	var rec func(i, j int) bool
+	rec = func(i, j int) bool {
+		k := key{i, j}
+		if v := memo[k]; v != 0 {
+			return v == 1
+		}
+		memo[k] = 2
+		var res bool
+		switch {
+		case i == len(a) && j == len(b):
+			res = true
+		case i < len(a) && a[i] == '*':
+			res = rec(i+1, j) || (j < len(b) && rec(i, j+1))
+		case j < len(b) && b[j] == '*':
+			res = rec(i, j+1) || (i < len(a) && rec(i+1, j))
+		case i < len(a) && j < len(b) && a[i] == b[j]:
+			res = rec(i+1, j+1)
+		}
+		if res {
+			memo[k] = 1
+		}
+		return res
+	}
+	return rec(0, 0)
+}

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"vax780/internal/vax"
 )
 
@@ -15,9 +17,16 @@ type execFn func(m *Machine)
 
 var execTable [256]execFn
 
+// register attaches the execute microroutine of one opcode. The exectable
+// analyzer (cmd/vaxlint) proves table/handler consistency at build time;
+// this runtime check remains as defense in depth.
 func register(op vax.Opcode, fn execFn) {
 	if execTable[op] != nil {
-		panic("cpu: duplicate exec registration")
+		name := fmt.Sprintf("opcode %#02x", uint8(op))
+		if info := vax.Lookup(op); info != nil {
+			name = info.Name
+		}
+		panic("cpu: duplicate exec registration for " + name)
 	}
 	execTable[op] = fn
 }

@@ -140,8 +140,8 @@ func NewStore() *Store {
 // they are structured dot-paths (e.g. "spec1.mode.(Rn)+.read") that the
 // reduction engine keys on.
 func (s *Store) Define(name string, row Row, class Class) uint16 {
-	if _, dup := s.byName[name]; dup {
-		panic("ucode: duplicate microword name " + name)
+	if prev, dup := s.byName[name]; dup {
+		panic(fmt.Sprintf("ucode: duplicate microword name %q (already at µPC %#04x)", name, prev))
 	}
 	if len(s.words) >= StoreSize {
 		panic("ucode: control store full")
@@ -174,12 +174,39 @@ func (s *Store) Lookup(name string) (uint16, bool) {
 }
 
 // MustLookup returns the address of a named location, panicking if absent.
+// The panic names the nearest defined microword and its µPC address, since
+// the usual cause is a typo in a reduction-engine table.
 func (s *Store) MustLookup(name string) uint16 {
 	a, ok := s.byName[name]
 	if !ok {
-		panic("ucode: no microword named " + name)
+		if near, addr, ok := s.nearest(name); ok {
+			panic(fmt.Sprintf("ucode: no microword named %q (%d words defined; nearest is %q at µPC %#04x)",
+				name, len(s.words), near, addr))
+		}
+		panic(fmt.Sprintf("ucode: no microword named %q (%d words defined)", name, len(s.words)))
 	}
 	return a
+}
+
+// nearest returns the defined name sharing the longest common prefix with
+// name, breaking ties toward the shorter candidate.
+func (s *Store) nearest(name string) (string, uint16, bool) {
+	best, bestAddr, bestLen := "", uint16(0), -1
+	for n, a := range s.byName {
+		l := commonPrefixLen(n, name)
+		if l > bestLen || (l == bestLen && (best == "" || len(n) < len(best))) {
+			best, bestAddr, bestLen = n, a, l
+		}
+	}
+	return best, bestAddr, bestLen >= 0
+}
+
+func commonPrefixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
 }
 
 // Words returns all defined locations in address order. The slice must not
