@@ -1,13 +1,16 @@
 # Developer entry points. `make check` is the full pre-merge gate: build,
 # go vet, the repo's own vaxlint static analyzers (cross-table invariant
-# proofs, see DESIGN.md "Static analysis & invariants"), and the test
-# suite under the race detector.
+# proofs, see DESIGN.md "Static analysis & invariants"), the test suite
+# under the race detector, the chaos soak (fault injection into a full OS
+# workload, DESIGN.md "Fault model & machine checks"), and a short fuzz
+# smoke over the disassembler and instruction decoder.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint test race soak fuzz-smoke bench
 
-check: build vet lint race
+check: build vet lint race soak fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +26,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos soak: millions of cycles of OS workload with every fault-injection
+# point firing; nothing worse than a machine check may come out.
+soak:
+	$(GO) test -run TestChaosSoak -race ./internal/fault
+
+# Short native-fuzz smoke per target; raise FUZZTIME for a real campaign.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDisasmOne -fuzztime $(FUZZTIME) ./internal/asm
+	$(GO) test -fuzz=FuzzDecode$$ -fuzztime $(FUZZTIME) ./internal/vax
+	$(GO) test -fuzz=FuzzDecodeSpecifier -fuzztime $(FUZZTIME) ./internal/vax
 
 # Regenerate every table and figure of the paper (see bench_test.go).
 bench:

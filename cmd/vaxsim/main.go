@@ -7,6 +7,7 @@
 //
 //	vaxsim -workload rte-commercial -cycles 5000000 -o hist.upc
 //	vaxsim -program prog.s -cycles 1000000 -o hist.upc
+//	vaxsim -workload rte-commercial -inject "seed=7,mem=0.0001,sbi=1/50000"
 //	vaxsim -list
 package main
 
@@ -18,6 +19,7 @@ import (
 	"vax780/internal/asm"
 	"vax780/internal/core"
 	"vax780/internal/cpu"
+	"vax780/internal/fault"
 	"vax780/internal/vax"
 	"vax780/internal/workload"
 )
@@ -29,7 +31,17 @@ func main() {
 	out := flag.String("o", "hist.upc", "output histogram file")
 	list := flag.Bool("list", false, "list workload profiles")
 	stats := flag.Bool("stats", false, "print the hardware statistics report")
+	inject := flag.String("inject", "", `fault-injection spec, e.g. "seed=7,mem=0.0001,sbi=1/50000" (see internal/fault)`)
 	flag.Parse()
+
+	var plane *fault.Plane
+	if *inject != "" {
+		fcfg, err := fault.ParseSpec(*inject)
+		if err != nil {
+			fatalf("bad -inject spec: %v", err)
+		}
+		plane = fault.NewPlane(fcfg)
+	}
 
 	if *list {
 		for _, p := range workload.All() {
@@ -45,13 +57,16 @@ func main() {
 		if !ok {
 			fatalf("unknown workload %q (try -list)", *wl)
 		}
-		res, err := workload.Run(p, *cycles, cpu.Config{})
+		res, err := workload.RunInjected(p, *cycles, cpu.Config{}, plane)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		hist = res.Hist
 		fmt.Fprintf(os.Stderr, "vaxsim: %s: %d instructions, %d cycles (%.2f CPI)\n",
 			p.Name, res.Instructions, res.Cycles, float64(res.Cycles)/float64(res.Instructions))
+		if plane != nil {
+			printInjection(res.Faults, res.HW)
+		}
 		_ = stats // the workload path reports via upcreport; -stats applies to -program
 	case *prog != "":
 		src, err := os.ReadFile(*prog)
@@ -66,6 +81,7 @@ func main() {
 		mon := core.NewMonitor()
 		mon.Start()
 		m.AttachProbe(mon)
+		m.AttachFaultPlane(plane)
 		m.Mem.Load(im.Org, im.Bytes)
 		m.R[vax.SP] = 0x8000
 		m.SetPC(im.Org)
@@ -76,6 +92,9 @@ func main() {
 		hist = mon.Snapshot()
 		fmt.Fprintf(os.Stderr, "vaxsim: %s: %d instructions, %d cycles (halted=%v)\n",
 			*prog, res.Instructions, res.Cycles, res.Halted)
+		if plane != nil {
+			printInjection(plane.Stats(), m.HW())
+		}
 		if *stats {
 			fmt.Fprint(os.Stderr, m.StatsReport())
 		}
@@ -93,6 +112,15 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "vaxsim: histogram written to %s (%d classified cycles)\n",
 		*out, hist.TotalCycles())
+}
+
+func printInjection(fs fault.Stats, hw cpu.HWCounters) {
+	fmt.Fprintf(os.Stderr, "vaxsim: injection:")
+	for pt := fault.Point(0); pt < fault.NumPoints; pt++ {
+		fmt.Fprintf(os.Stderr, " %s=%d/%d", pt, fs.Injected[pt], fs.Samples[pt])
+	}
+	fmt.Fprintf(os.Stderr, "; %d machine checks delivered, %d lost\n",
+		hw.MachineChecks, hw.MachineChecksLost)
 }
 
 func fatalf(format string, args ...any) {

@@ -20,6 +20,10 @@ import (
 //   - a go statement that captures a *Machine: the simulator core and its
 //     probe are not safe for concurrent use; parallel measurement must
 //     shard by Machine, one per goroutine, and merge Histograms.
+//   - a function literal handed to the fault package that captures a
+//     *Machine: injection hooks fire from deep inside the subsystems and
+//     must stay pure observers — a hook that re-enters the Machine would
+//     recurse into the cycle it is instrumenting.
 var ProbeSafe = &Analyzer{
 	Name: "probesafe",
 	Doc:  "enforce the single-threaded Machine/probe contract",
@@ -35,6 +39,8 @@ func runProbeSafe(pass *Pass) error {
 				checkCounterAccess(pass, n)
 			case *ast.GoStmt:
 				checkGoCapture(pass, n)
+			case *ast.CallExpr:
+				checkFaultHook(pass, n)
 			}
 			return true
 		})
@@ -67,9 +73,45 @@ func checkCounterAccess(pass *Pass, sel *ast.SelectorExpr) {
 
 // checkGoCapture reports go statements whose call references a *Machine.
 func checkGoCapture(pass *Pass, g *ast.GoStmt) {
-	reported := false
-	ast.Inspect(g.Call, func(n ast.Node) bool {
-		if reported {
+	if v, id := machineCapture(pass, g.Call); v != nil {
+		pass.Reportf(g.Pos(),
+			"goroutine captures %s (via %q): Machine and its probe are single-threaded; shard by Machine and merge Histograms instead",
+			types.TypeString(v.Type(), types.RelativeTo(pass.Pkg.Types)), id.Name)
+	}
+}
+
+// checkFaultHook reports function literals passed to the fault package
+// that reference a *Machine. Injection hooks run inside the memory and
+// bus models mid-cycle; one that retains the Machine could re-enter it.
+func checkFaultHook(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() == pass.Pkg.Types || fn.Pkg().Name() != "fault" {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if v, id := machineCapture(pass, lit); v != nil {
+			pass.Reportf(lit.Pos(),
+				"fault hook captures %s (via %q): injection hooks must not retain a Machine",
+				types.TypeString(v.Type(), types.RelativeTo(pass.Pkg.Types)), id.Name)
+		}
+	}
+}
+
+// machineCapture returns the first Machine-typed variable referenced
+// anywhere under root, with the identifier that references it.
+func machineCapture(pass *Pass, root ast.Node) (*types.Var, *ast.Ident) {
+	var foundVar *types.Var
+	var foundID *ast.Ident
+	ast.Inspect(root, func(n ast.Node) bool {
+		if foundVar != nil {
 			return false
 		}
 		id, ok := n.(*ast.Ident)
@@ -84,12 +126,10 @@ func checkGoCapture(pass *Pass, g *ast.GoStmt) {
 		if named == nil || named.Obj().Name() != "Machine" {
 			return true
 		}
-		pass.Reportf(g.Pos(),
-			"goroutine captures %s (via %q): Machine and its probe are single-threaded; shard by Machine and merge Histograms instead",
-			types.TypeString(v.Type(), types.RelativeTo(pass.Pkg.Types)), id.Name)
-		reported = true
+		foundVar, foundID = v, id
 		return false
 	})
+	return foundVar, foundID
 }
 
 // namedOf unwraps pointers and aliases down to a named type, if any.

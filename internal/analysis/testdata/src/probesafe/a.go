@@ -2,7 +2,10 @@
 // monitor's package and goroutines capturing a *Machine.
 package a
 
-import "probesafe/core"
+import (
+	"probesafe/core"
+	"probesafe/fault"
+)
 
 type Machine struct{ probe *core.Monitor }
 
@@ -22,4 +25,13 @@ func spawn(m *Machine, done chan struct{}) {
 	}()
 	go helper(m) // want "goroutine captures \\*Machine"
 	go func() { close(done) }()
+}
+
+func wire(m *Machine, p *fault.Plane, count *int) {
+	p.SetObserver(func(int) { // want "fault hook captures \\*Machine"
+		m.probe = nil
+	})
+	fault.Register(func() bool { return m != nil }) // want "fault hook captures \\*Machine"
+	p.SetObserver(func(int) { *count++ })           // pure observer: fine
+	fault.Register(func() bool { return *count > 0 })
 }

@@ -1,0 +1,10 @@
+// Package fault mirrors the shape of vax780/internal/fault for the
+// probesafe testdata: an injection plane whose hooks must stay pure
+// observers.
+package fault
+
+type Plane struct{}
+
+func (p *Plane) SetObserver(fn func(int)) {}
+
+func Register(fn func() bool) {}

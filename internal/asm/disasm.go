@@ -10,6 +10,9 @@ import (
 // DisasmOne disassembles the instruction at offset off within code (which
 // is loaded at origin org) and returns its text and encoded size.
 func DisasmOne(code []byte, org, off uint32) (string, int, error) {
+	if uint64(off) > uint64(len(code)) {
+		return "", 0, vax.ErrTruncated
+	}
 	in, err := vax.Decode(code[off:])
 	if err != nil {
 		return "", 0, err

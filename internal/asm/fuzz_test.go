@@ -1,0 +1,28 @@
+package asm
+
+import "testing"
+
+// FuzzDisasmOne throws arbitrary code bytes and offsets at the
+// disassembler. It must never panic; when it accepts an instruction the
+// reported size must stay inside the buffer.
+func FuzzDisasmOne(f *testing.F) {
+	f.Add([]byte{0xD0, 0x01, 0x51}, uint32(0))
+	f.Add([]byte{0x11, 0xFE}, uint32(0))
+	f.Add([]byte{0x00, 0xD0, 0x01, 0x51}, uint32(1))
+	f.Add([]byte{0x31, 0x00}, uint32(0)) // truncated BRW
+	f.Add([]byte{0xFF, 0xFF}, uint32(0)) // reserved opcode
+	f.Add([]byte{}, uint32(4))           // offset past the end
+	f.Add([]byte{0x9E, 0x41, 0x62, 0x53}, uint32(0))
+	f.Fuzz(func(t *testing.T, code []byte, off uint32) {
+		text, n, err := DisasmOne(code, 0x1000, off)
+		if err != nil {
+			return
+		}
+		if text == "" || n <= 0 {
+			t.Fatalf("accepted instruction with text %q size %d", text, n)
+		}
+		if uint64(off)+uint64(n) > uint64(len(code)) {
+			t.Fatalf("size %d at offset %d overruns %d code bytes", n, off, len(code))
+		}
+	})
+}

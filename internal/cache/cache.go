@@ -47,6 +47,10 @@ type Stats struct {
 	WriteHits   uint64 // writes that updated the cache
 	WriteMisses uint64 // writes that bypassed the cache (no allocate)
 	Flushes     uint64
+	// ParityErrors counts injected tag/data parity errors. Each
+	// invalidates the affected line, forces a miss (refill from memory),
+	// and raises a machine check.
+	ParityErrors uint64
 }
 
 // Reads returns total read references for a stream.
@@ -86,19 +90,35 @@ type Cache struct {
 	stamp    uint64
 	stats    Stats
 	tracer   Tracer
+
+	inject    func() bool // parity fault sampler (nil = never)
+	faultAddr uint32
+	hasFault  bool
 }
 
 // SetTracer attaches a passive reference tracer (nil detaches).
 func (c *Cache) SetTracer(tr Tracer) { c.tracer = tr }
 
+// SetInjector installs a parity fault sampler consulted once per read
+// lookup (nil removes it). See internal/fault.
+func (c *Cache) SetInjector(sample func() bool) { c.inject = sample }
+
+// TakeFault returns and clears the latched parity syndrome: the physical
+// address whose lookup saw bad parity. Single-error latch.
+func (c *Cache) TakeFault() (pa uint32, ok bool) {
+	a, had := c.faultAddr, c.hasFault
+	c.faultAddr, c.hasFault = 0, false
+	return a, had
+}
+
 // New returns a cache with the given geometry.
-func New(cfg Config) *Cache {
+func New(cfg Config) (*Cache, error) {
 	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes <= 0 {
-		panic("cache: non-positive geometry")
+		return nil, fmt.Errorf("cache: non-positive geometry %+v", cfg)
 	}
 	nSets := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
 	if nSets == 0 || nSets&(nSets-1) != 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
-		panic(fmt.Sprintf("cache: geometry %+v not a power of two", cfg))
+		return nil, fmt.Errorf("cache: geometry %+v not a power of two", cfg)
 	}
 	c := &Cache{cfg: cfg, setMask: uint32(nSets - 1)}
 	for cfg.BlockBytes>>c.setShift > 1 {
@@ -109,7 +129,7 @@ func New(cfg Config) *Cache {
 	for i := range c.sets {
 		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache geometry.
@@ -135,6 +155,19 @@ func (c *Cache) find(pa uint32) (set []line, tag uint32, way int) {
 func (c *Cache) Read(pa uint32, st Stream) bool {
 	if c.tracer != nil {
 		c.tracer.CacheRead(pa, st)
+	}
+	if c.inject != nil && c.inject() {
+		// Parity error on lookup: the line (if resident) can no longer
+		// be trusted — invalidate it so the reference misses and the
+		// block refills from memory, and latch the syndrome for the
+		// machine-check microcode.
+		if set, _, way := c.find(pa); way >= 0 {
+			set[way] = line{}
+		}
+		c.stats.ParityErrors++
+		if !c.hasFault {
+			c.faultAddr, c.hasFault = pa, true
+		}
 	}
 	set, tag, way := c.find(pa)
 	c.stamp++

@@ -6,8 +6,18 @@ import (
 	"testing/quick"
 )
 
+// mustCache builds a default-geometry cache, failing the test on error.
+func mustCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestColdMissThenHit(t *testing.T) {
-	c := New(DefaultConfig())
+	c := mustCache(t)
 	if c.Read(0x1000, DStream) {
 		t.Error("cold read should miss")
 	}
@@ -27,7 +37,7 @@ func TestColdMissThenHit(t *testing.T) {
 }
 
 func TestTwoWayLRUReplacement(t *testing.T) {
-	c := New(DefaultConfig())
+	c := mustCache(t)
 	// Three blocks mapping to the same set: set index covers 512 sets of
 	// 8-byte blocks, so addresses 4096*k apart share a set.
 	stride := uint32(c.Config().SizeBytes / c.Config().Ways)
@@ -48,7 +58,7 @@ func TestTwoWayLRUReplacement(t *testing.T) {
 }
 
 func TestWriteThroughNoAllocate(t *testing.T) {
-	c := New(DefaultConfig())
+	c := mustCache(t)
 	if c.Write(0x2000) {
 		t.Error("write miss should report miss")
 	}
@@ -69,7 +79,7 @@ func TestWriteThroughNoAllocate(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	c := New(DefaultConfig())
+	c := mustCache(t)
 	c.Read(0x100, IStream)
 	c.Flush()
 	if c.Probe(0x100) {
@@ -81,7 +91,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestStreamsCountedSeparately(t *testing.T) {
-	c := New(DefaultConfig())
+	c := mustCache(t)
 	c.Read(0x100, IStream)
 	c.Read(0x900, DStream)
 	st := c.Stats()
@@ -94,23 +104,61 @@ func TestStreamsCountedSeparately(t *testing.T) {
 }
 
 func TestMissRatioNoReads(t *testing.T) {
-	c := New(DefaultConfig())
+	c := mustCache(t)
 	if r := c.Stats().MissRatio(DStream); r != 0 {
 		t.Errorf("empty miss ratio = %v", r)
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("non-power-of-two geometry should panic")
+func TestBadGeometryErrors(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 3000, Ways: 2, BlockBytes: 8}, // sets not a power of two
+		{SizeBytes: 8192, Ways: 2, BlockBytes: 6}, // block not a power of two
+		{SizeBytes: 0, Ways: 2, BlockBytes: 8},
+		{SizeBytes: 8192, Ways: -1, BlockBytes: 8},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("geometry %+v should be rejected", cfg)
 		}
-	}()
-	New(Config{SizeBytes: 3000, Ways: 2, BlockBytes: 8})
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default geometry rejected: %v", err)
+	}
+}
+
+func TestParityInjection(t *testing.T) {
+	c := mustCache(t)
+	fire := false
+	c.SetInjector(func() bool { return fire })
+	c.Read(0x1000, DStream) // miss, allocate
+	if !c.Probe(0x1000) {
+		t.Fatal("block not resident after read")
+	}
+	fire = true
+	// Parity on lookup invalidates the resident line: the reference misses
+	// and refills, and the syndrome is latched.
+	if c.Read(0x1000, DStream) {
+		t.Error("parity-hit read should miss")
+	}
+	fire = false
+	if !c.Probe(0x1000) {
+		t.Error("block should have refilled after the parity miss")
+	}
+	pa, ok := c.TakeFault()
+	if !ok || pa != 0x1000 {
+		t.Errorf("latched parity fault = %#x ok=%v", pa, ok)
+	}
+	if _, ok := c.TakeFault(); ok {
+		t.Error("TakeFault should clear the latch")
+	}
+	if c.Stats().ParityErrors != 1 {
+		t.Errorf("parity errors = %d", c.Stats().ParityErrors)
+	}
 }
 
 func TestBlockBase(t *testing.T) {
-	c := New(DefaultConfig())
+	c := mustCache(t)
 	if got := c.BlockBase(0x1237); got != 0x1230 {
 		t.Errorf("BlockBase = %#x, want 0x1230", got)
 	}
@@ -120,7 +168,7 @@ func TestBlockBase(t *testing.T) {
 // than the associativity within one set never miss after warmup.
 func TestPropertyReadThenProbeHits(t *testing.T) {
 	f := func(addrs []uint32) bool {
-		c := New(DefaultConfig())
+		c := mustCache(t)
 		for _, a := range addrs {
 			a &= 0x7FFFFF
 			c.Read(a, DStream)
@@ -137,7 +185,7 @@ func TestPropertyReadThenProbeHits(t *testing.T) {
 
 // Property: hit ratio of a small looping working set approaches 1.
 func TestSmallWorkingSetHitsAfterWarmup(t *testing.T) {
-	c := New(DefaultConfig())
+	c := mustCache(t)
 	r := rand.New(rand.NewSource(1))
 	ws := make([]uint32, 64)
 	for i := range ws {
@@ -157,7 +205,7 @@ func TestSmallWorkingSetHitsAfterWarmup(t *testing.T) {
 // Property: total references conserved across hits/misses.
 func TestPropertyReferenceConservation(t *testing.T) {
 	f := func(addrs []uint16, writes []bool) bool {
-		c := New(DefaultConfig())
+		c := mustCache(t)
 		var reads, wr int
 		for i, a := range addrs {
 			if i < len(writes) && writes[i] {

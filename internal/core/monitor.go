@@ -64,7 +64,7 @@ func (mo *Monitor) Count(upc uint16, n uint64) {
 	if !mo.running {
 		return
 	}
-	mo.hist.Counts[upc] = mo.bump(mo.hist.Counts[upc], n)
+	mo.hist.Counts[upc] = mo.bump(upc, mo.hist.Counts[upc], n)
 }
 
 // Stall implements cpu.Probe: n stalled cycles at a location.
@@ -72,13 +72,18 @@ func (mo *Monitor) Stall(upc uint16, n uint64) {
 	if !mo.running {
 		return
 	}
-	mo.hist.Stalls[upc] = mo.bump(mo.hist.Stalls[upc], n)
+	mo.hist.Stalls[upc] = mo.bump(upc, mo.hist.Stalls[upc], n)
 }
 
-func (mo *Monitor) bump(cur, n uint64) uint64 {
+// bump adds n to a bucket counter with saturate-and-flag degradation: a
+// counter that reaches the configured capacity pins there and marks the
+// bucket overflowed, so a too-long run yields a histogram that is wrong
+// only in known places — never a wrapped (silently corrupt) count.
+func (mo *Monitor) bump(upc uint16, cur, n uint64) uint64 {
 	v := cur + n
 	if mo.maxBucket != 0 && v >= mo.maxBucket {
 		mo.overflow = true
+		mo.hist.markOverflow(upc)
 		v = mo.maxBucket
 	}
 	return v
@@ -102,13 +107,42 @@ func (mo *Monitor) Snapshot() *Histogram {
 type Histogram struct {
 	Counts [ucode.StoreSize]uint64
 	Stalls [ucode.StoreSize]uint64
+	// Over is a per-bucket overflow bitmap: bit upc%64 of word upc/64 is
+	// set when either counter of that location saturated at the monitor's
+	// capacity. Gob encodes it with the counters, so the degradation marks
+	// survive save/load and histogram summation.
+	Over [ucode.StoreSize / 64]uint64
 }
 
-// Add accumulates another histogram into h.
+func (h *Histogram) markOverflow(upc uint16) {
+	h.Over[upc/64] |= 1 << (upc % 64)
+}
+
+// OverflowedAt reports whether the bucket at upc saturated.
+func (h *Histogram) OverflowedAt(upc uint16) bool {
+	return h.Over[upc/64]&(1<<(upc%64)) != 0
+}
+
+// OverflowCount returns the number of saturated buckets.
+func (h *Histogram) OverflowCount() int {
+	n := 0
+	for _, w := range h.Over {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Add accumulates another histogram into h. Overflow marks are sticky:
+// a sum involving a saturated bucket is itself marked saturated there.
 func (h *Histogram) Add(other *Histogram) {
 	for i := range h.Counts {
 		h.Counts[i] += other.Counts[i]
 		h.Stalls[i] += other.Stalls[i]
+	}
+	for i := range h.Over {
+		h.Over[i] |= other.Over[i]
 	}
 }
 

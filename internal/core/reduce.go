@@ -279,29 +279,34 @@ func (r *Report) WithinGroup(g vax.Group) ColumnSet {
 	if r.Groups[g] == 0 {
 		return ColumnSet{}
 	}
-	row := r.Timing[execRowOf(g)]
+	er, ok := execRowOf(g)
+	if !ok {
+		return ColumnSet{}
+	}
+	row := r.Timing[er]
 	return row.scale(float64(r.Instructions) / float64(r.Groups[g]))
 }
 
-// execRowOf maps an opcode group to its Table 8 execute row.
-func execRowOf(g vax.Group) ucode.Row {
+// execRowOf maps an opcode group to its Table 8 execute row. The second
+// result is false for values that are not opcode groups.
+func execRowOf(g vax.Group) (ucode.Row, bool) {
 	switch g {
 	case vax.GroupSimple:
-		return ucode.RowSimple
+		return ucode.RowSimple, true
 	case vax.GroupField:
-		return ucode.RowField
+		return ucode.RowField, true
 	case vax.GroupFloat:
-		return ucode.RowFloat
+		return ucode.RowFloat, true
 	case vax.GroupCallRet:
-		return ucode.RowCallRet
+		return ucode.RowCallRet, true
 	case vax.GroupSystem:
-		return ucode.RowSystem
+		return ucode.RowSystem, true
 	case vax.GroupCharacter:
-		return ucode.RowCharacter
+		return ucode.RowCharacter, true
 	case vax.GroupDecimal:
-		return ucode.RowDecimal
+		return ucode.RowDecimal, true
 	}
-	panic("core: not an opcode group")
+	return 0, false
 }
 
 // groupOfRow inverts execRowOf for rows that are execute rows.

@@ -113,10 +113,10 @@ func (m *Machine) branchCond(op vax.Opcode) bool {
 // documented substitution: the paper's measurements depend on operation
 // counts and cycle costs, not on the VAX exponent bias or byte-swizzle.
 
-func f32of(bits uint64) float64  { return float64(math.Float32frombits(uint32(bits))) }
-func f32bits(v float64) uint64   { return uint64(math.Float32bits(float32(v))) }
-func f64of(bits uint64) float64  { return math.Float64frombits(bits) }
-func f64bits(v float64) uint64   { return math.Float64bits(v) }
+func f32of(bits uint64) float64 { return float64(math.Float32frombits(uint32(bits))) }
+func f32bits(v float64) uint64  { return uint64(math.Float32bits(float32(v))) }
+func f64of(bits uint64) float64 { return math.Float64frombits(bits) }
+func f64bits(v float64) uint64  { return math.Float64bits(v) }
 
 // fval decodes a floating operand per data type.
 func fval(bits uint64, t vax.DataType) float64 {

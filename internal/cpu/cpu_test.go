@@ -590,8 +590,8 @@ high:	INCL	@#0x3004
 	m.Mem.Load(im.Org, im.Bytes)
 	m.R[vax.SP] = 0x8000
 	m.SetIPR(IPRSlotSCBB, 0x200)
-	m.Mem.WriteLong(0x200+SCBTerminal, im.MustAddr("low"))  // IPL 20
-	m.Mem.WriteLong(0x200+SCBClock, im.MustAddr("high"))    // IPL 24
+	m.Mem.WriteLong(0x200+SCBTerminal, im.MustAddr("low")) // IPL 20
+	m.Mem.WriteLong(0x200+SCBClock, im.MustAddr("high"))   // IPL 24
 	m.SetPC(im.Org)
 	m.QueueIRQ(IRQ{At: 100, IPL: IPLTerminal, Vector: SCBTerminal})
 	m.QueueIRQ(IRQ{At: 120, IPL: IPLClock, Vector: SCBClock})

@@ -90,6 +90,10 @@ var uw = struct {
 	excWork  uint16
 	excPush  uint16
 	excVec   uint16
+	mcEntry  uint16
+	mcWork   uint16
+	mcPush   uint16
+	mcVec    uint16
 
 	// SIMPLE execute phase.
 	sAluEntry   uint16
@@ -229,6 +233,10 @@ var uw = struct {
 	excWork:  def("int.exc.work", ucode.RowIntExcept, ucode.ClassCompute),
 	excPush:  def("int.exc.push", ucode.RowIntExcept, ucode.ClassWrite),
 	excVec:   def("int.exc.vec", ucode.RowIntExcept, ucode.ClassRead),
+	mcEntry:  def("int.mcheck.entry", ucode.RowIntExcept, ucode.ClassCompute),
+	mcWork:   def("int.mcheck.work", ucode.RowIntExcept, ucode.ClassCompute),
+	mcPush:   def("int.mcheck.push", ucode.RowIntExcept, ucode.ClassWrite),
+	mcVec:    def("int.mcheck.vec", ucode.RowIntExcept, ucode.ClassRead),
 
 	sAluEntry:   def("exec.simple.alu.entry", ucode.RowSimple, ucode.ClassCompute),
 	sAluExtra:   def("exec.simple.alu.extra", ucode.RowSimple, ucode.ClassCompute),

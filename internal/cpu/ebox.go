@@ -45,21 +45,33 @@ func (m *Machine) writeVirt(va uint32, size int, v uint64) {
 // read- or write-class microinstruction (plus any stall), and services TB
 // misses through the microcode trap routine first.
 
+// aborted reports whether the current instruction can make no further
+// progress: the machine stopped, or an exception redirected control.
+func (m *Machine) aborted() bool {
+	return m.halted || m.runErr != nil || m.instAborted
+}
+
 // xlate translates a D-stream virtual address through the TB, running the
-// TB-miss microtrap when needed.
+// TB-miss microtrap when needed. The loop is bounded but more than one
+// round: an injected TB parity error can invalidate the very entry the
+// miss routine just inserted, which on the real machine simply means the
+// microtrap fires again.
 func (m *Machine) xlate(va uint32) uint32 {
 	if !m.MMU.Enabled {
 		return va
 	}
-	if pa, hit := m.TLB.Lookup(va, tb.DStream); hit {
-		return pa
+	const maxTries = 4
+	for try := 0; try < maxTries; try++ {
+		if pa, hit := m.TLB.Lookup(va, tb.DStream); hit {
+			return pa
+		}
+		m.tbMissService(va, tb.DStream)
+		if m.aborted() {
+			return 0
+		}
 	}
-	m.tbMissService(va, tb.DStream)
-	pa, hit := m.TLB.Lookup(va, tb.DStream)
-	if !hit {
-		m.fail("TB fill did not take at %#x", va)
-	}
-	return pa
+	m.fail("TB fill did not take at %#x after %d tries", va, maxTries)
+	return 0
 }
 
 // dread performs a D-stream read of size bytes (1..4) at the read-class
@@ -73,9 +85,15 @@ func (m *Machine) dread(w uint16, va uint32, size int) uint64 {
 		m.unalignedOverhead()
 	}
 	pa := m.xlate(va)
+	if m.aborted() {
+		return 0
+	}
 	m.cacheReadRef(w, pa)
 	if crosses {
 		pa2 := m.xlate((va &^ 3) + 4)
+		if m.aborted() {
+			return 0
+		}
 		m.cacheReadRef(w, pa2)
 	}
 	return m.readVirt(va, size)
@@ -102,9 +120,15 @@ func (m *Machine) dwrite(w uint16, va uint32, size int, val uint64) {
 		m.unalignedOverhead()
 	}
 	pa := m.xlate(va)
+	if m.aborted() {
+		return
+	}
 	m.cacheWriteRef(w, pa)
 	if crosses {
 		pa2 := m.xlate((va &^ 3) + 4)
+		if m.aborted() {
+			return
+		}
 		m.cacheWriteRef(w, pa2)
 	}
 	m.writeVirt(va, size, val)

@@ -37,6 +37,16 @@ func (m *Machine) StepInstruction() {
 	if m.halted || m.runErr != nil {
 		return
 	}
+	m.instAborted = false
+	// Machine checks outrank interrupts: drain the subsystem error latches
+	// and deliver a pending check before anything else this boundary.
+	m.pollMachineChecks()
+	if m.mcPending {
+		m.deliverMachineCheck()
+		if m.halted || m.runErr != nil {
+			return
+		}
+	}
 	m.checkInterrupts()
 	if m.halted || m.runErr != nil {
 		return
@@ -68,22 +78,28 @@ func (m *Machine) StepInstruction() {
 	m.instr = info
 	m.nops = len(info.Specs)
 	m.lastPCChange = false
+	// An I-stream exception during the IRD fetch redirected the IB; the
+	// opcode consumed above is the handler's first instruction, which must
+	// run normally.
+	m.instAborted = false
 
 	for i, os := range info.Specs {
 		m.runSpecifier(i, os)
-		if m.halted || m.runErr != nil {
+		if m.halted || m.runErr != nil || m.instAborted {
 			return
 		}
 	}
 	fn := execTable[info.Code]
 	if fn == nil {
-		m.fail("opcode %s has no execute routine", info.Name)
+		// No execute routine is an unimplemented opcode: architecturally a
+		// reserved-instruction fault, not a simulator stop.
+		m.deliverException(SCBReservedOp, nil)
 		return
 	}
 	fn(m)
 	// Integer overflow traps at instruction end when the PSW IV bit is
 	// set (the architectural arithmetic trap).
-	if m.PSL&pswIV != 0 && m.PSL&vax.PSLV != 0 && !m.halted && m.runErr == nil {
+	if m.PSL&pswIV != 0 && m.PSL&vax.PSLV != 0 && !m.halted && m.runErr == nil && !m.instAborted {
 		m.PSL &^= vax.PSLV
 		m.deliverException(SCBArithTrap, []uint32{arithIntOvf})
 	}
@@ -255,6 +271,7 @@ func (m *Machine) deliverException(vec int, params []uint32) {
 	m.ticks(uw.excWork, 2)
 	m.ib.redirect(handler)
 	m.lastPCChange = true
+	m.instAborted = true // skip the remaining phases of the faulted instruction
 	m.exceptions++
 }
 

@@ -65,6 +65,9 @@ func init() {
 		m.ticks(uw.reiWork, 5)
 		m.setMode(psl >> 24 & 3)
 		m.PSL = psl
+		// Returning re-opens the machine-check latch: the handler is done
+		// (or an outer context resumed), so a new syndrome may be taken.
+		m.mcActive = false
 		m.redirect(uw.reiTaken, pc)
 	})
 
@@ -224,6 +227,7 @@ func init() {
 			return
 		}
 		m.halted = true
+		m.haltReason = HaltInstruction
 	})
 
 	// BPT: breakpoint fault.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"vax780/internal/cache"
+	"vax780/internal/fault"
 	"vax780/internal/mem"
 	"vax780/internal/mmu"
 	"vax780/internal/tb"
@@ -42,9 +43,9 @@ type Probe interface {
 
 // Config assembles a machine. Zero fields take 11/780 defaults.
 type Config struct {
-	MemBytes uint32         // physical memory size (default 8 MB, as measured)
-	SBI      mem.SBIConfig  // bus timing
-	Cache    cache.Config   // cache geometry
+	MemBytes uint32        // physical memory size (default 8 MB, as measured)
+	SBI      mem.SBIConfig // bus timing
+	Cache    cache.Config  // cache geometry
 	// DecodeOverlap removes the non-overlapped decode cycle on
 	// non-PC-changing instructions (the 11/750 optimization discussed in
 	// §5) — an ablation knob, off for the 11/780.
@@ -98,15 +99,17 @@ type Machine struct {
 	ipr [iprCount]uint32 // internal processor registers
 
 	// Microarchitectural state.
-	ib      ibox
-	ops     [6]operand
-	nops    int
-	instr   *vax.OpInfo
-	instPC  uint32
-	cycle   uint64
-	instret uint64
-	halted  bool
-	runErr  error
+	ib         ibox
+	ops        [6]operand
+	nops       int
+	instr      *vax.OpInfo
+	instPC     uint32
+	cycle      uint64
+	instret    uint64
+	upc        uint16 // control-store location of the last cycle
+	halted     bool
+	haltReason HaltReason
+	runErr     error
 
 	probe Probe
 	gate  bool // monitor count enable (vmos drops it for the null process)
@@ -116,14 +119,25 @@ type Machine struct {
 
 	lastPCChange bool // previous instruction changed the PC (DecodeOverlap ablation)
 	inExc        bool // exception delivery in progress (nesting guard)
+	instAborted  bool // current instruction faulted; skip its remaining phases
 	patchCtr     int  // instructions until the next patched microword
 
+	// Machine-check state (see mcheck.go).
+	plane     *fault.Plane
+	csSample  func() bool // control-store parity sampler (nil = never)
+	pendMC    pendingMC
+	mcPending bool
+	mcActive  bool // a machine check is being handled (cleared by REI)
+
 	// Hardware event counters (not monitor-visible; used for cross-checks).
-	unaligned    uint64
-	sirrRequests uint64
-	irqDelivered uint64
-	exceptions   uint64
-	ctxSwitches  uint64
+	unaligned     uint64
+	sirrRequests  uint64
+	irqDelivered  uint64
+	exceptions    uint64
+	ctxSwitches   uint64
+	machineChecks uint64
+	mcLost        uint64 // syndromes absorbed while a check was outstanding
+	mcByCause     [NumMCCauses]uint64
 
 	// OnInstruction, if set, runs between instructions (used by the OS
 	// layer for scheduling decisions and by the RTE for terminal events).
@@ -153,9 +167,22 @@ func New(cfg Config) *Machine {
 	}
 	m.cfg = cfg
 	m.Mem = mem.New(cfg.MemBytes)
-	m.SBI = mem.NewSBI(cfg.SBI)
+	// A bad configuration does not abort construction: the machine is
+	// built on defaults with a sticky error, so callers that ignore Err()
+	// still hold a structurally sound (if halted) machine.
+	sbi, err := mem.NewSBI(cfg.SBI)
+	if err != nil {
+		sbi, _ = mem.NewSBI(mem.DefaultSBIConfig())
+		m.fail("bad configuration: %v", err)
+	}
+	m.SBI = sbi
 	m.WB = mem.NewWriteBufferDepth(m.SBI, cfg.WriteBufferDepth)
-	m.Cache = cache.New(cfg.Cache)
+	c, err := cache.New(cfg.Cache)
+	if err != nil {
+		c, _ = cache.New(cache.DefaultConfig())
+		m.fail("bad configuration: %v", err)
+	}
+	m.Cache = c
 	m.TLB = tb.New()
 	m.ib.m = m
 	m.gate = true
@@ -191,17 +218,22 @@ func (m *Machine) PCVal() uint32 { return m.ib.cur() }
 // SetPC redirects instruction fetch to va.
 func (m *Machine) SetPC(va uint32) { m.ib.redirect(va) }
 
-// QueueIRQ schedules an external interrupt request. Requests must be
-// queued in non-decreasing At order.
+// QueueIRQ schedules an external interrupt request. Requests may arrive
+// in any time order; each is inserted at its place in the pending queue
+// (but never before a request that was already delivered).
 func (m *Machine) QueueIRQ(q IRQ) {
-	if n := len(m.irqs); n > 0 && m.irqs[n-1].At > q.At {
-		panic("cpu: IRQs must be queued in time order")
+	i := len(m.irqs)
+	for i > m.nextIRQ && m.irqs[i-1].At > q.At {
+		i--
 	}
-	m.irqs = append(m.irqs, q)
+	m.irqs = append(m.irqs, IRQ{})
+	copy(m.irqs[i+1:], m.irqs[i:])
+	m.irqs[i] = q
 }
 
 // tick executes one non-stalled cycle at control-store location w.
 func (m *Machine) tick(w uint16) {
+	m.upc = w
 	if m.probe != nil && m.gate {
 		m.probe.Count(w, 1)
 	}
@@ -220,6 +252,7 @@ func (m *Machine) stall(w uint16, n uint64) {
 	if n == 0 {
 		return
 	}
+	m.upc = w
 	if m.probe != nil && m.gate {
 		m.probe.Stall(w, n)
 	}
@@ -229,10 +262,49 @@ func (m *Machine) stall(w uint16, n uint64) {
 // ibStallTick burns one cycle waiting for IB bytes, counted as an
 // execution of the dedicated stall location w (§4.3).
 func (m *Machine) ibStallTick(w uint16) {
+	m.upc = w
 	if m.probe != nil && m.gate {
 		m.probe.Count(w, 1)
 	}
 	m.cycle++
+}
+
+// HaltReason classifies why the machine stopped.
+type HaltReason int
+
+const (
+	// HaltNone: the machine has not halted (e.g. the cycle budget ran out).
+	HaltNone HaltReason = iota
+	// HaltInstruction: a kernel-mode HALT instruction — the orderly stop.
+	HaltInstruction
+	// HaltError: an unrecoverable model error; Err carries a *MachineError.
+	HaltError
+)
+
+func (r HaltReason) String() string {
+	switch r {
+	case HaltNone:
+		return "running"
+	case HaltInstruction:
+		return "HALT instruction"
+	case HaltError:
+		return "unrecoverable error"
+	}
+	return "unknown halt reason"
+}
+
+// MachineError is the sticky error of a machine that stopped on an
+// unrecoverable condition. UPC and Cycle locate the failure: the
+// control-store location of the last cycle executed and the cycle count
+// at the stop.
+type MachineError struct {
+	UPC   uint16
+	Cycle uint64
+	Msg   string
+}
+
+func (e *MachineError) Error() string {
+	return fmt.Sprintf("cpu: %s (µpc %#04x, cycle %d)", e.Msg, e.UPC, e.Cycle)
 }
 
 // RunResult describes why Run returned.
@@ -240,6 +312,7 @@ type RunResult struct {
 	Cycles       uint64
 	Instructions uint64
 	Halted       bool
+	Reason       HaltReason
 	Err          error
 }
 
@@ -258,6 +331,7 @@ func (m *Machine) Run(maxCycles uint64) RunResult {
 		Cycles:       m.cycle - start,
 		Instructions: m.instret - startInst,
 		Halted:       m.halted,
+		Reason:       m.haltReason,
 		Err:          m.runErr,
 	}
 }
@@ -265,9 +339,20 @@ func (m *Machine) Run(maxCycles uint64) RunResult {
 // Err returns the sticky machine error, if any.
 func (m *Machine) Err() error { return m.runErr }
 
+// Reason returns why the machine halted (HaltNone while running).
+func (m *Machine) Reason() HaltReason { return m.haltReason }
+
+// fail stops the machine with a structured *MachineError recording the
+// failing µPC and cycle. Once failed, further Steps are inert and the
+// first error sticks.
 func (m *Machine) fail(format string, args ...any) {
 	if m.runErr == nil {
-		m.runErr = fmt.Errorf("cpu: "+format, args...)
+		m.runErr = &MachineError{
+			UPC:   m.upc,
+			Cycle: m.cycle,
+			Msg:   fmt.Sprintf(format, args...),
+		}
+		m.haltReason = HaltError
 	}
 	m.halted = true
 }
@@ -283,16 +368,25 @@ type HWCounters struct {
 	Interrupts   uint64 // hardware+software interrupts delivered (Table 7)
 	Exceptions   uint64
 	CtxSwitches  uint64 // LDPCTX executions (Table 7)
+	// MachineChecks counts delivered machine checks; MachineChecksLost
+	// counts syndromes absorbed while a check was already outstanding
+	// (the single-error latch, see mcheck.go).
+	MachineChecks        uint64
+	MachineChecksLost    uint64
+	MachineChecksByCause [NumMCCauses]uint64
 }
 
 // HW returns the hardware event counters.
 func (m *Machine) HW() HWCounters {
 	return HWCounters{
-		Unaligned:    m.unaligned,
-		SIRRRequests: m.sirrRequests,
-		Interrupts:   m.irqDelivered,
-		Exceptions:   m.exceptions,
-		CtxSwitches:  m.ctxSwitches,
+		Unaligned:            m.unaligned,
+		SIRRRequests:         m.sirrRequests,
+		Interrupts:           m.irqDelivered,
+		Exceptions:           m.exceptions,
+		CtxSwitches:          m.ctxSwitches,
+		MachineChecks:        m.machineChecks,
+		MachineChecksLost:    m.mcLost,
+		MachineChecksByCause: m.mcByCause,
 	}
 }
 

@@ -46,17 +46,18 @@ const (
 // SCB vector offsets (bytes from SCBB). A subset of the architectural
 // system control block layout.
 const (
-	SCBMachineChk  = 0x04
-	SCBArithTrap   = 0x34 // arithmetic trap (integer overflow, IV enabled)
-	SCBAccessViol  = 0x20 // length violation / access control
-	SCBTransInval  = 0x24 // translation not valid (page fault)
-	SCBReservedOp  = 0x10 // reserved/privileged instruction
-	SCBCHMK        = 0x40
-	SCBCHME        = 0x44
-	SCBSoftBase    = 0x80 // software interrupt level n vectors at 0x80+4n
-	SCBClock       = 0xC0 // interval timer, IPL 24
-	SCBTerminal    = 0xF8 // terminal controller, IPL 20 (model device)
-	SCBDiskDevice  = 0xF4 // disk controller, IPL 21 (model device)
+	SCBMachineChk   = 0x04
+	SCBArithTrap    = 0x34 // arithmetic trap (integer overflow, IV enabled)
+	SCBAccessViol   = 0x20 // length violation / access control
+	SCBTransInval   = 0x24 // translation not valid (page fault)
+	SCBReservedOp   = 0x10 // reserved/privileged instruction
+	SCBReservedAddr = 0x1C // reserved addressing mode (malformed specifier)
+	SCBCHMK         = 0x40
+	SCBCHME         = 0x44
+	SCBSoftBase     = 0x80 // software interrupt level n vectors at 0x80+4n
+	SCBClock        = 0xC0 // interval timer, IPL 24
+	SCBTerminal     = 0xF8 // terminal controller, IPL 20 (model device)
+	SCBDiskDevice   = 0xF4 // disk controller, IPL 21 (model device)
 )
 
 // InterruptPriority levels used by the model's devices.

@@ -62,8 +62,14 @@ func (m *Machine) runSpecifier(i int, os vax.OperandSpec) {
 		return
 	}
 	spec, n, err := vax.DecodeSpecifier(m.ib.peek(total), os.Type)
-	if err != nil || n != total {
-		m.fail("specifier decode at pc %#x: %v", m.ib.cur(), err)
+	if err != nil {
+		// A malformed specifier is architecturally a reserved addressing
+		// mode fault, not a simulator stop.
+		m.deliverException(SCBReservedAddr, nil)
+		return
+	}
+	if n != total {
+		m.fail("specifier decode at pc %#x: consumed %d of %d bytes", m.ib.cur(), n, total)
 		return
 	}
 	op.spec = spec

@@ -176,10 +176,10 @@ func TestPropertyConditionCodesMatchComparison(t *testing.T) {
 				b.Op("MOVL", asm.Lit(1), asm.R(dst))
 				b.Label("e" + br + dst.String())
 			}
-			rec("BLSS", vax.R2)  // signed <
-			rec("BLEQ", vax.R3)  // signed <=
-			rec("BCS", vax.R4)   // unsigned < (C set)
-			rec("BEQL", vax.R5)  // equal
+			rec("BLSS", vax.R2) // signed <
+			rec("BLEQ", vax.R3) // signed <=
+			rec("BCS", vax.R4)  // unsigned < (C set)
+			rec("BEQL", vax.R5) // equal
 			b.Op("HALT")
 		})
 		signedLess := int32(a) < int32(bv)

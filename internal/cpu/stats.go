@@ -57,5 +57,21 @@ func (m *Machine) StatsReport() string {
 	hw := m.HW()
 	fmt.Fprintf(&sb, "events:  %d interrupts, %d SIRR requests, %d exceptions, %d context switches, %d unaligned\n",
 		hw.Interrupts, hw.SIRRRequests, hw.Exceptions, hw.CtxSwitches, hw.Unaligned)
+
+	if hw.MachineChecks > 0 || hw.MachineChecksLost > 0 {
+		fmt.Fprintf(&sb, "mcheck:  %d delivered, %d lost", hw.MachineChecks, hw.MachineChecksLost)
+		sep := " ("
+		for c := MCCause(0); c < NumMCCauses; c++ {
+			if n := hw.MachineChecksByCause[c]; n > 0 {
+				fmt.Fprintf(&sb, "%s%s %d", sep, c, n)
+				sep = ", "
+			}
+		}
+		if sep == ", " {
+			sb.WriteString(")")
+		}
+		fmt.Fprintf(&sb, "\nfaults:  %d cache parity, %d tb parity, %d sbi timeouts\n",
+			cs.ParityErrors, ts.ParityErrors, ss.Timeouts)
+	}
 	return sb.String()
 }

@@ -7,9 +7,9 @@ import (
 
 // Component is one block of the Figure 1 machine diagram.
 type Component struct {
-	Name     string
-	Subsys   string // "CPU pipeline" or "Memory subsystem"
-	FeedsTo  []string
+	Name    string
+	Subsys  string // "CPU pipeline" or "Memory subsystem"
+	FeedsTo []string
 }
 
 // Topology returns the machine's component graph — the structural content

@@ -31,13 +31,58 @@ func TestMemoryLoadRead(t *testing.T) {
 	}
 }
 
-func TestMemoryBoundsPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("out-of-range access should panic")
-		}
-	}()
-	New(16).ReadLong(14)
+func TestMemoryBoundsLatchFault(t *testing.T) {
+	m := New(16)
+	if got := m.ReadLong(14); got != 0 {
+		t.Errorf("out-of-range read = %#x, want 0", got)
+	}
+	f, ok := m.TakeFault()
+	if !ok || f.Kind != FaultRange || f.Addr != 14 {
+		t.Errorf("latched fault = %+v ok=%v, want FaultRange at 14", f, ok)
+	}
+	if _, ok := m.TakeFault(); ok {
+		t.Error("TakeFault should clear the latch")
+	}
+	// The latch holds the FIRST syndrome only.
+	m.ReadLong(20)
+	m.SetByte(40, 1)
+	f, ok = m.TakeFault()
+	if !ok || f.Addr != 20 {
+		t.Errorf("first-error latch = %+v ok=%v, want addr 20", f, ok)
+	}
+	// Out-of-range writes are dropped, not applied mod-size.
+	m2 := New(32)
+	m2.WriteLong(30, 0xFFFFFFFF)
+	if got := m2.ReadLong(28); got != 0 {
+		t.Errorf("dropped write leaked: %#x", got)
+	}
+	m2.TakeFault()
+}
+
+func TestMemoryRDSInjection(t *testing.T) {
+	m := New(64)
+	m.WriteLong(8, 0x12345678)
+	fire := false
+	m.SetInjector(func() bool { return fire })
+	if got := m.ReadLong(8); got != 0x12345678 {
+		t.Errorf("read with idle injector = %#x", got)
+	}
+	if _, ok := m.TakeFault(); ok {
+		t.Error("idle injector latched a fault")
+	}
+	fire = true
+	// RDS delivers the (still correct) data AND latches the syndrome: the
+	// error is in the modelled check bits, not the simulated array.
+	if got := m.ReadLong(8); got != 0x12345678 {
+		t.Errorf("RDS read = %#x, want correct data", got)
+	}
+	f, ok := m.TakeFault()
+	if !ok || f.Kind != FaultRDS || f.Addr != 8 {
+		t.Errorf("RDS fault = %+v ok=%v", f, ok)
+	}
+	if s := f.Kind.String(); s == "" || s == "unknown memory fault" {
+		t.Errorf("FaultRDS string = %q", s)
+	}
 }
 
 func TestPropertyMemoryLongRoundTrip(t *testing.T) {
@@ -55,8 +100,49 @@ func TestPropertyMemoryLongRoundTrip(t *testing.T) {
 	}
 }
 
+// mustSBI builds a default-configured SBI, failing the test on error.
+func mustSBI(t *testing.T) *SBI {
+	t.Helper()
+	s, err := NewSBI(DefaultSBIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSBIBadConfigErrors(t *testing.T) {
+	if _, err := NewSBI(SBIConfig{ReadLatency: 0, WriteOccupancy: 6}); err == nil {
+		t.Error("zero read latency should be rejected")
+	}
+	if _, err := NewSBI(SBIConfig{ReadLatency: 6, WriteOccupancy: -1}); err == nil {
+		t.Error("negative write occupancy should be rejected")
+	}
+}
+
+func TestSBITimeoutInjection(t *testing.T) {
+	s := mustSBI(t)
+	fire := false
+	s.SetInjector(func() bool { return fire })
+	if done := s.Read(100); done != 106 {
+		t.Errorf("clean read done = %d", done)
+	}
+	fire = true
+	// A timed-out transaction completes after the timeout interval plus
+	// the normal latency, and latches the starting cycle.
+	if done := s.Read(200); done != 200+TimeoutPenalty+6 {
+		t.Errorf("timed-out read done = %d, want %d", done, 200+TimeoutPenalty+6)
+	}
+	cyc, ok := s.TakeFault()
+	if !ok || cyc != 200 {
+		t.Errorf("latched timeout = %d ok=%v, want cycle 200", cyc, ok)
+	}
+	if s.Stats().Timeouts != 1 {
+		t.Errorf("timeouts = %d", s.Stats().Timeouts)
+	}
+}
+
 func TestSBIUncontendedRead(t *testing.T) {
-	s := NewSBI(DefaultSBIConfig())
+	s := mustSBI(t)
 	if done := s.Read(100); done != 106 {
 		t.Errorf("read done = %d, want 106", done)
 	}
@@ -66,7 +152,7 @@ func TestSBIUncontendedRead(t *testing.T) {
 }
 
 func TestSBIContention(t *testing.T) {
-	s := NewSBI(DefaultSBIConfig())
+	s := mustSBI(t)
 	first := s.Read(100) // 106
 	second := s.Read(102)
 	if second != first+6 {
@@ -80,7 +166,7 @@ func TestSBIContention(t *testing.T) {
 }
 
 func TestSBIWriteOccupiesBus(t *testing.T) {
-	s := NewSBI(DefaultSBIConfig())
+	s := mustSBI(t)
 	s.Write(0) // occupies until 6
 	if done := s.Read(1); done != 12 {
 		t.Errorf("read behind write done = %d, want 12", done)
@@ -88,7 +174,7 @@ func TestSBIWriteOccupiesBus(t *testing.T) {
 }
 
 func TestWriteBufferFastPath(t *testing.T) {
-	s := NewSBI(DefaultSBIConfig())
+	s := mustSBI(t)
 	w := NewWriteBuffer(s)
 	if stall := w.Write(10); stall != 0 {
 		t.Errorf("first write stall = %d", stall)
@@ -100,7 +186,7 @@ func TestWriteBufferFastPath(t *testing.T) {
 }
 
 func TestWriteBufferBackToBackStalls(t *testing.T) {
-	s := NewSBI(DefaultSBIConfig())
+	s := mustSBI(t)
 	w := NewWriteBuffer(s)
 	w.Write(10) // drains at 16
 	if stall := w.Write(12); stall != 4 {
@@ -115,7 +201,7 @@ func TestWriteBufferBackToBackStalls(t *testing.T) {
 func TestWriteBufferChainOfWrites(t *testing.T) {
 	// N back-to-back writes issued on consecutive cycles: each pays the
 	// residual occupancy of its predecessor.
-	s := NewSBI(DefaultSBIConfig())
+	s := mustSBI(t)
 	w := NewWriteBuffer(s)
 	now := uint64(0)
 	var total uint64
@@ -134,7 +220,7 @@ func TestWriteBufferChainOfWrites(t *testing.T) {
 func TestPropertySBIMonotonic(t *testing.T) {
 	// Completion times never move backwards no matter the request pattern.
 	f := func(deltas []uint8) bool {
-		s := NewSBI(DefaultSBIConfig())
+		s := mustSBI(t)
 		now, last := uint64(0), uint64(0)
 		for i, d := range deltas {
 			now += uint64(d % 8)
@@ -157,7 +243,7 @@ func TestPropertySBIMonotonic(t *testing.T) {
 }
 
 func TestWriteBufferDepthTwo(t *testing.T) {
-	s := NewSBI(DefaultSBIConfig())
+	s := mustSBI(t)
 	w := NewWriteBufferDepth(s, 2)
 	if w.Depth() != 2 {
 		t.Fatalf("depth = %d", w.Depth())
@@ -177,7 +263,7 @@ func TestWriteBufferDepthTwo(t *testing.T) {
 
 func TestWriteBufferDepthReducesStalls(t *testing.T) {
 	run := func(depth int) uint64 {
-		s := NewSBI(DefaultSBIConfig())
+		s := mustSBI(t)
 		w := NewWriteBufferDepth(s, depth)
 		now := uint64(0)
 		for i := 0; i < 50; i++ {

@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // SBIConfig sets the timing parameters of the backplane.
 type SBIConfig struct {
 	// ReadLatency is the number of cycles from an uncontended cache-miss
@@ -25,7 +27,15 @@ type SBIStats struct {
 	// BusyCycles is the total number of cycles the bus+memory were
 	// occupied; used to compute utilization.
 	BusyCycles uint64
+	// Timeouts counts transactions that timed out and were retried on
+	// the bus (injected faults; each also raises a machine check).
+	Timeouts uint64
 }
+
+// TimeoutPenalty is the extra bus occupancy of a timed-out transaction:
+// the SBI waits out its timeout interval, latches the fault, and the
+// retried transaction then proceeds.
+const TimeoutPenalty = 32
 
 // SBI models the Synchronous Backplane Interconnect plus the memory
 // controller as a single transaction-at-a-time resource: a new transaction
@@ -36,14 +46,19 @@ type SBI struct {
 	cfg       SBIConfig
 	busyUntil uint64
 	stats     SBIStats
+
+	inject     func() bool // timeout fault sampler (nil = never)
+	faultCycle uint64
+	hasFault   bool
 }
 
 // NewSBI returns an SBI with the given timing configuration.
-func NewSBI(cfg SBIConfig) *SBI {
+func NewSBI(cfg SBIConfig) (*SBI, error) {
 	if cfg.ReadLatency <= 0 || cfg.WriteOccupancy <= 0 {
-		panic("mem: SBI latencies must be positive")
+		return nil, fmt.Errorf("mem: SBI latencies must be positive (read %d, write %d)",
+			cfg.ReadLatency, cfg.WriteOccupancy)
 	}
-	return &SBI{cfg: cfg}
+	return &SBI{cfg: cfg}, nil
 }
 
 // Config returns the SBI timing configuration.
@@ -52,12 +67,37 @@ func (s *SBI) Config() SBIConfig { return s.cfg }
 // Stats returns cumulative transaction statistics.
 func (s *SBI) Stats() SBIStats { return s.stats }
 
+// SetInjector installs a bus-timeout fault sampler consulted once per
+// transaction (nil removes it). See internal/fault.
+func (s *SBI) SetInjector(sample func() bool) { s.inject = sample }
+
+// TakeFault returns and clears the latched timeout syndrome: the cycle at
+// which the timed-out transaction started. Single-error latch.
+func (s *SBI) TakeFault() (cycle uint64, ok bool) {
+	c, had := s.faultCycle, s.hasFault
+	s.faultCycle, s.hasFault = 0, false
+	return c, had
+}
+
+// timeout applies an injected bus timeout to a transaction starting at
+// start: the retried transfer lands TimeoutPenalty cycles later.
+func (s *SBI) timeout(start uint64) uint64 {
+	s.stats.Timeouts++
+	if !s.hasFault {
+		s.faultCycle, s.hasFault = start, true
+	}
+	return start + TimeoutPenalty
+}
+
 // Read starts a cache-miss read transaction at cycle now and returns the
 // cycle at which the data arrives at the requester.
 func (s *SBI) Read(now uint64) (done uint64) {
 	start := now
 	if s.busyUntil > start {
 		start = s.busyUntil
+	}
+	if s.inject != nil && s.inject() {
+		start = s.timeout(start)
 	}
 	done = start + uint64(s.cfg.ReadLatency)
 	s.busyUntil = done
@@ -73,6 +113,9 @@ func (s *SBI) Write(now uint64) (done uint64) {
 	start := now
 	if s.busyUntil > start {
 		start = s.busyUntil
+	}
+	if s.inject != nil && s.inject() {
+		start = s.timeout(start)
 	}
 	done = start + uint64(s.cfg.WriteOccupancy)
 	s.busyUntil = done

@@ -23,6 +23,10 @@ type Stats struct {
 	Misses         [2]uint64
 	ProcessFlushes uint64
 	FullFlushes    uint64
+	// ParityErrors counts injected TB parity errors. Each invalidates
+	// the affected entry, forces a miss (the microcode re-walks the page
+	// table), and raises a machine check.
+	ParityErrors uint64
 }
 
 // Stream distinguishes I-stream from D-stream references in statistics.
@@ -57,10 +61,26 @@ type TB struct {
 	halves [2][SetsPerHalf][Ways]entry
 	stats  Stats
 	tracer Tracer
+
+	inject   func() bool // parity fault sampler (nil = never)
+	faultVA  uint32
+	hasFault bool
 }
 
 // SetTracer attaches a passive activity tracer (nil detaches).
 func (t *TB) SetTracer(tr Tracer) { t.tracer = tr }
+
+// SetInjector installs a parity fault sampler consulted once per lookup
+// (nil removes it). See internal/fault.
+func (t *TB) SetInjector(sample func() bool) { t.inject = sample }
+
+// TakeFault returns and clears the latched parity syndrome: the virtual
+// address whose lookup saw bad parity. Single-error latch.
+func (t *TB) TakeFault() (va uint32, ok bool) {
+	a, had := t.faultVA, t.hasFault
+	t.faultVA, t.hasFault = 0, false
+	return a, had
+}
 
 // New returns an empty translation buffer.
 func New() *TB { return &TB{} }
@@ -92,6 +112,22 @@ func (t *TB) Lookup(va uint32, st Stream) (pa uint32, hit bool) {
 	h := half(va)
 	set, tag := split(va)
 	ways := &t.halves[h][set]
+	if t.inject != nil && t.inject() {
+		// Parity error: a matching entry can no longer be trusted —
+		// drop it so the lookup misses and the microcode re-walks the
+		// page table, and latch the syndrome for the machine check.
+		for w := range ways {
+			if ways[w].valid && ways[w].tag == tag {
+				ways[w] = entry{}
+			}
+		}
+		t.stats.ParityErrors++
+		if !t.hasFault {
+			t.faultVA, t.hasFault = va, true
+		}
+		t.stats.Misses[st]++
+		return 0, false
+	}
 	for w := range ways {
 		if ways[w].valid && ways[w].tag == tag {
 			ways[w].mru = true

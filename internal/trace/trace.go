@@ -206,8 +206,12 @@ func ReplayTBNoFlush(t *Trace) tb.Stats {
 // ReplayCache re-applies the recorded cache references to a fresh cache of
 // the given geometry. With the live geometry the statistics match the live
 // run exactly; with other geometries this is the design-sweep simulator.
-func ReplayCache(t *Trace, cfg cache.Config) cache.Stats {
-	c := cache.New(cfg)
+// An invalid geometry is reported as an error.
+func ReplayCache(t *Trace, cfg cache.Config) (cache.Stats, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return cache.Stats{}, err
+	}
 	for _, e := range t.Events {
 		switch e.Kind {
 		case EvCacheRead:
@@ -218,7 +222,7 @@ func ReplayCache(t *Trace, cfg cache.Config) cache.Stats {
 			c.Flush()
 		}
 	}
-	return c.Stats()
+	return c.Stats(), nil
 }
 
 // SweepPoint is one cache geometry's trace-driven result.
@@ -230,11 +234,15 @@ type SweepPoint struct {
 }
 
 // SweepCache replays the trace through each geometry — the 1983 cache
-// study's methodology applied to this trace.
+// study's methodology applied to this trace. Invalid geometries are
+// skipped (a sweep over a generated grid should not die on one bad point).
 func SweepCache(t *Trace, cfgs []cache.Config) []SweepPoint {
 	out := make([]SweepPoint, 0, len(cfgs))
 	for _, cfg := range cfgs {
-		st := ReplayCache(t, cfg)
+		st, err := ReplayCache(t, cfg)
+		if err != nil {
+			continue
+		}
 		total := st.Reads(cache.IStream) + st.Reads(cache.DStream)
 		misses := st.ReadMisses[cache.IStream] + st.ReadMisses[cache.DStream]
 		p := SweepPoint{Config: cfg}
@@ -277,10 +285,10 @@ type TBSweepPoint struct {
 }
 
 // SimulateTB replays the trace's TB lookups through an LRU TB of the given
-// geometry, filling on miss.
-func SimulateTB(t *Trace, g TBGeometry) TBSweepPoint {
+// geometry, filling on miss. An invalid geometry is reported as an error.
+func SimulateTB(t *Trace, g TBGeometry) (TBSweepPoint, error) {
 	if g.SetsPerHalf <= 0 || g.Ways <= 0 {
-		panic("trace: bad TB geometry")
+		return TBSweepPoint{}, fmt.Errorf("trace: bad TB geometry %+v", g)
 	}
 	halves := 2
 	if !g.SplitHalves {
@@ -353,14 +361,18 @@ func SimulateTB(t *Trace, g TBGeometry) TBSweepPoint {
 	if p.Lookups > 0 {
 		p.MissRatio = float64(p.Misses) / float64(p.Lookups)
 	}
-	return p
+	return p, nil
 }
 
-// SweepTB replays the trace through each geometry.
+// SweepTB replays the trace through each geometry, skipping invalid ones.
 func SweepTB(t *Trace, gs []TBGeometry) []TBSweepPoint {
 	out := make([]TBSweepPoint, 0, len(gs))
 	for _, g := range gs {
-		out = append(out, SimulateTB(t, g))
+		p, err := SimulateTB(t, g)
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
 	}
 	return out
 }

@@ -56,7 +56,10 @@ func TestExactTBReplayMatchesLive(t *testing.T) {
 func TestExactCacheReplayMatchesLive(t *testing.T) {
 	m, rec := capture(t)
 	live := m.Cache.Stats()
-	replayed := ReplayCache(&rec.Trace, m.Cache.Config())
+	replayed, err := ReplayCache(&rec.Trace, m.Cache.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if replayed.ReadHits != live.ReadHits || replayed.ReadMisses != live.ReadMisses {
 		t.Errorf("cache replay diverged:\nlive   %+v\nreplay %+v", live, replayed)
 	}
@@ -200,17 +203,24 @@ func TestTBGeometrySweep(t *testing.T) {
 		}
 	}
 	// Flushing must not reduce misses.
-	noFlush := SimulateTB(&rec.Trace, TBGeometry{SetsPerHalf: 32, Ways: 2, SplitHalves: true})
+	noFlush, err := SimulateTB(&rec.Trace, TBGeometry{SetsPerHalf: 32, Ways: 2, SplitHalves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if noFlush.Misses > pts[1].Misses {
 		t.Errorf("suppressing flushes increased misses: %d vs %d", noFlush.Misses, pts[1].Misses)
 	}
 }
 
-func TestTBGeometryBadPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("bad geometry should panic")
-		}
-	}()
-	SimulateTB(&Trace{}, TBGeometry{})
+func TestTBGeometryBadErrors(t *testing.T) {
+	if _, err := SimulateTB(&Trace{}, TBGeometry{}); err == nil {
+		t.Error("bad geometry should report an error")
+	}
+	if _, err := ReplayCache(&Trace{}, cache.Config{SizeBytes: -1}); err == nil {
+		t.Error("bad cache geometry should report an error")
+	}
+	// A sweep over a grid containing bad points skips them instead of dying.
+	if pts := SweepTB(&Trace{}, []TBGeometry{{}, {SetsPerHalf: 8, Ways: 2}}); len(pts) != 1 {
+		t.Errorf("sweep over bad geometry: got %d points, want 1", len(pts))
+	}
 }

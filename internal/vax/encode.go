@@ -90,8 +90,9 @@ func DecodeSpecifier(b []byte, t DataType) (Specifier, int, error) {
 			return s, 0, ErrTruncated
 		}
 	}
-	mode := b[0] >> 4
-	reg := Reg(b[0] & 0x0F)
+	mb := b[0] // mode byte, kept for diagnostics: b advances past it below
+	mode := mb >> 4
+	reg := Reg(mb & 0x0F)
 	b = b[1:]
 	n++
 	switch {
@@ -162,7 +163,9 @@ func DecodeSpecifier(b []byte, t DataType) (Specifier, int, error) {
 		s.Disp = int32(uint32(readUint(b, 4)))
 		n += 4
 	default:
-		return s, 0, fmt.Errorf("vax: unhandled specifier byte %#02x", b[0])
+		// Reached for a doubled index prefix (4x 4x): mode 4 after the
+		// first prefix has already been consumed.
+		return s, 0, fmt.Errorf("vax: unhandled specifier byte %#02x", mb)
 	}
 	if s.Indexed && !s.Mode.Indexable() {
 		return s, 0, ErrNotIndexable

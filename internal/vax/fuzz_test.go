@@ -1,0 +1,81 @@
+package vax
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte strings to the instruction decoder. The
+// decoder must never panic; when it accepts an input, the decoded form
+// must re-encode to exactly the bytes it consumed (decode/encode identity
+// over the accepted language).
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		{0xD0, 0x01, 0x51}, // MOVL #1, R1
+		{0xC1, 0x8F, 0x12, 0x34, 0x56, 0x78, 0x52, 0x53}, // ADDL3 imm, R2, R3
+		{0x11, 0xFE},                               // BRB .-2
+		{0x31, 0x00, 0x10},                         // BRW
+		{0xD0, 0x41, 0x62, 0x53},                   // MOVL (R2)[R1], R3
+		{0xD0, 0xE2, 0x00, 0x01, 0x00, 0x00, 0x50}, // longword displacement
+		{0x28, 0x10, 0x61, 0x62},                   // MOVC3
+		{0x41, 0x42},                               // doubled index prefix (rejected)
+		{0x9F, 0x9F, 0xFF, 0xFF, 0xFF, 0xFF},       // PUSHAB @#...
+		{0x00},                                     // HALT
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		in, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if in.Size <= 0 || in.Size > len(b) {
+			t.Fatalf("accepted size %d out of range for %d input bytes", in.Size, len(b))
+		}
+		out, err := in.Encode(nil)
+		if err != nil {
+			t.Fatalf("decoded instruction does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out, b[:in.Size]) {
+			t.Fatalf("re-encode mismatch:\n in  % x\n out % x", b[:in.Size], out)
+		}
+	})
+}
+
+// FuzzDecodeSpecifier exercises the operand-specifier decoder across all
+// immediate sizes. It must never panic and must never report consuming
+// more bytes than it was given.
+func FuzzDecodeSpecifier(f *testing.F) {
+	seeds := []struct {
+		b []byte
+		t uint8
+	}{
+		{[]byte{0x3F}, uint8(TypeLong)},             // short literal
+		{[]byte{0x51}, uint8(TypeLong)},             // register
+		{[]byte{0x8F, 1, 2, 3, 4}, uint8(TypeLong)}, // immediate
+		{[]byte{0x8F, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(TypeQuad)},
+		{[]byte{0x9F, 0, 0, 1, 0}, uint8(TypeByte)}, // absolute
+		{[]byte{0x41, 0x62}, uint8(TypeWord)},       // indexed deferred
+		{[]byte{0x41, 0x42}, uint8(TypeLong)},       // doubled prefix
+		{[]byte{0xA5, 0x7F}, uint8(TypeByte)},       // byte displacement
+		{[]byte{0xC5, 0x00}, uint8(TypeWord)},       // truncated word disp
+	}
+	for _, s := range seeds {
+		f.Add(s.b, s.t)
+	}
+	types := []DataType{TypeByte, TypeWord, TypeLong, TypeQuad}
+	f.Fuzz(func(t *testing.T, b []byte, tsel uint8) {
+		dt := types[int(tsel)%len(types)]
+		s, n, err := DecodeSpecifier(b, dt)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if _, err := EncodeSpecifier(nil, s, dt); err != nil {
+			t.Fatalf("decoded specifier %+v does not re-encode: %v", s, err)
+		}
+	})
+}

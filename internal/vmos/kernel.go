@@ -21,6 +21,7 @@ func (s *System) kernelSource() string {
 ; Interval clock, IPL 24: count ticks, request a reschedule every
 ; %[1]d ticks through the software interrupt request register.
 clock:	INCL	@#ticks
+	MOVL	#%[5]d, @#mcbudget	; each tick refills the machine-check budget
 	DECL	@#resched
 	BNEQ	clk1
 	MOVL	#%[1]d, @#resched
@@ -111,6 +112,25 @@ svcdio:	INCL	@#diskreq
 	INSQUE	(R0), @#dqh
 	REI
 
+; Machine check, IPL 31. The frame on the kernel stack (after the two
+; saved registers) is: 8(SP) byte count, 12(SP) info, 16(SP) cause,
+; 20(SP) PC, 24(SP) PSL. Policy: log the error (total and per-cause
+; table), then retry via REI -- delivery is between instructions, so the
+; interrupted stream resumes exactly. A budget bounds the retries: an
+; error storm that exhausts it before the next clock-tick refill is
+; treated as a hard failure and crashes (HALT).
+mcheck:	INCL	@#mchkcnt
+	PUSHR	#^X0003		; save R0, R1
+	MOVL	16(SP), R0	; cause code from the frame
+	MOVAL	mccause, R1
+	INCL	(R1)[R0]	; per-cause log slot
+	DECL	@#mcbudget
+	BGTR	mcok
+	HALT			; budget exhausted: crash policy
+mcok:	POPR	#^X0003
+	ADDL2	(SP)+, SP	; pop the byte count, discard the parameters
+	REI			; retry the interrupted stream
+
 ; Reserved/privileged instruction in user mode, and fatal faults: stop
 ; the machine so the failure is visible.
 rsvdop:	HALT
@@ -128,6 +148,9 @@ termcnt: .long	0
 scroff:	.long	0
 diskreq: .long	0
 diskdone: .long	0
+mchkcnt: .long	0
+mcbudget: .long	%[5]d
+mccause: .space	32		; per-cause longword slots, indexed by cause code
 dqh:	.long	dqh, dqh	; disk request queue head
 dqe:	.long	0, 0
 dblk:	.ascii	"disk-block-data-disk-block-data-disk-block-data-disk-block-0064"
@@ -142,8 +165,12 @@ sink:	.space	256
 pcbtab:	.space	%[4]d
 	.align	4
 script:	.space	4096
-`, s.cfg.ReschedTicks, schedLevel, forkLevel, 4*s.cfg.MaxProcesses)
+`, s.cfg.ReschedTicks, schedLevel, forkLevel, 4*s.cfg.MaxProcesses, mcBudget)
 }
+
+// mcBudget is the number of machine checks the kernel will retry between
+// clock ticks before declaring an error storm and crashing.
+const mcBudget = 64
 
 // ScriptText fills the kernel's canned terminal-input script (what the
 // Remote Terminal Emulator "types"). Call after Boot.

@@ -133,14 +133,16 @@ func (s *System) Machine() *cpu.Machine { return s.m }
 // Processes returns the process table.
 func (s *System) Processes() []*Process { return s.procs }
 
-// allocFrames takes n contiguous physical frames.
-func (s *System) allocFrames(n uint32) uint32 {
+// allocFrames takes n contiguous physical frames, or reports that the
+// configured physical memory is exhausted.
+func (s *System) allocFrames(n uint32) (uint32, error) {
 	pa := s.nextFrame * mmu.PageSize
-	s.nextFrame += n
-	if s.nextFrame*mmu.PageSize > s.m.Mem.Size() {
-		panic("vmos: out of physical memory")
+	if (s.nextFrame+n)*mmu.PageSize > s.m.Mem.Size() {
+		return 0, fmt.Errorf("vmos: out of physical memory (%d frames requested, %d bytes configured)",
+			n, s.m.Mem.Size())
 	}
-	return pa
+	s.nextFrame += n
+	return pa, nil
 }
 
 // AddProcess creates a process from a user image assembled into P0 space.
@@ -157,10 +159,16 @@ func (s *System) AddProcess(name string, im *asm.Image) (*Process, error) {
 	totalPages := progPages + stackPages
 
 	// Physical backing.
-	base := s.allocFrames(totalPages)
+	base, err := s.allocFrames(totalPages)
+	if err != nil {
+		return nil, err
+	}
 	// P0 page table (in physical memory; referenced through S0).
 	ptPages := (totalPages*4 + mmu.PageSize - 1) / mmu.PageSize
-	pt := s.allocFrames(ptPages)
+	pt, err := s.allocFrames(ptPages)
+	if err != nil {
+		return nil, err
+	}
 	for j := uint32(0); j < totalPages; j++ {
 		s.m.Mem.WriteLong(pt+4*j, mmu.MakePTE(base/mmu.PageSize+j, mmu.ProtUW))
 	}
@@ -168,8 +176,14 @@ func (s *System) AddProcess(name string, im *asm.Image) (*Process, error) {
 	s.m.Mem.Load(base+im.Org, im.Bytes)
 
 	// PCB.
-	pcb := s.allocFrames(1)
-	kstack := s.allocFrames(kstackSize / mmu.PageSize)
+	pcb, err := s.allocFrames(1)
+	if err != nil {
+		return nil, err
+	}
+	kstack, err := s.allocFrames(kstackSize / mmu.PageSize)
+	if err != nil {
+		return nil, err
+	}
 	kstackTop := S0Base + kstack + kstackSize
 	ustackTop := totalPages * mmu.PageSize
 
@@ -277,9 +291,10 @@ func (s *System) Boot() error {
 	vec(cpu.SCBSoftBase+4*schedLevel, "sched")
 	vec(cpu.SCBSoftBase+4*forkLevel, "fork")
 	vec(cpu.SCBReservedOp, "rsvdop")
+	vec(cpu.SCBReservedAddr, "fatal")
 	vec(cpu.SCBAccessViol, "fatal")
 	vec(cpu.SCBTransInval, "fatal")
-	vec(cpu.SCBMachineChk, "fatal")
+	vec(cpu.SCBMachineChk, "mcheck")
 
 	// MMU and processor registers.
 	s.m.MMU = mmu.Registers{
@@ -391,6 +406,16 @@ func (s *System) DiskRequests() uint32 { return s.kernelCounter("diskreq") }
 
 // DiskCompleted returns the kernel's disk-completion count.
 func (s *System) DiskCompleted() uint32 { return s.kernelCounter("diskdone") }
+
+// MachineChecks returns the kernel's machine-check log count (the checks
+// the mcheck handler saw, retried, and survived).
+func (s *System) MachineChecks() uint32 { return s.kernelCounter("mchkcnt") }
+
+// MachineCheckCause returns the kernel's per-cause machine-check log slot.
+func (s *System) MachineCheckCause(cause cpu.MCCause) uint32 {
+	base := kernPhys + s.kern.MustAddr("mccause") - s.kern.Org
+	return s.m.Mem.ReadLong(base + 4*uint32(cause))
+}
 
 // CPUTime returns the cycles charged to a process (including kernel time
 // spent on its behalf; interrupt service is charged to whoever was

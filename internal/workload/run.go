@@ -6,6 +6,7 @@ import (
 	"vax780/internal/cache"
 	"vax780/internal/core"
 	"vax780/internal/cpu"
+	"vax780/internal/fault"
 	"vax780/internal/tb"
 	"vax780/internal/vmos"
 )
@@ -21,11 +22,19 @@ type Result struct {
 	IB           cpu.IBStats
 	TB           tb.Stats
 	HW           cpu.HWCounters
+	Faults       fault.Stats // injection activity (zero without a plane)
 }
 
 // Run executes one workload for the given cycle budget under a collecting
 // monitor and returns the measurement.
 func Run(p Profile, cycles uint64, mcfg cpu.Config) (*Result, error) {
+	return RunInjected(p, cycles, mcfg, nil)
+}
+
+// RunInjected is Run with a fault-injection plane attached to the machine
+// (nil behaves exactly like Run). Injected runs exercise the machine-check
+// path; their tables are NOT comparable with the paper's clean numbers.
+func RunInjected(p Profile, cycles uint64, mcfg cpu.Config, plane *fault.Plane) (*Result, error) {
 	sys := vmos.NewSystem(vmos.Config{
 		Machine:     mcfg,
 		IncludeNull: true,
@@ -33,6 +42,7 @@ func Run(p Profile, cycles uint64, mcfg cpu.Config) (*Result, error) {
 	mon := core.NewMonitor()
 	mon.Start()
 	sys.Machine().AttachProbe(mon)
+	sys.Machine().AttachFaultPlane(plane)
 
 	for i := 0; i < p.Procs; i++ {
 		im, err := Generate(GenConfig{
@@ -72,6 +82,7 @@ func Run(p Profile, cycles uint64, mcfg cpu.Config) (*Result, error) {
 		IB:           m.IBStats(),
 		TB:           m.TLB.Stats(),
 		HW:           m.HW(),
+		Faults:       plane.Stats(),
 	}, nil
 }
 
@@ -114,7 +125,9 @@ func (c *Composite) HWTotals() (cache.Stats, cpu.IBStats, tb.Stats, cpu.HWCounte
 		}
 		cs.WriteHits += r.Cache.WriteHits
 		cs.WriteMisses += r.Cache.WriteMisses
+		cs.ParityErrors += r.Cache.ParityErrors
 		ts.ProcessFlushes += r.TB.ProcessFlushes
+		ts.ParityErrors += r.TB.ParityErrors
 		ib.CacheRefs += r.IB.CacheRefs
 		ib.BytesDelivered += r.IB.BytesDelivered
 		ib.BytesConsumed += r.IB.BytesConsumed
@@ -125,6 +138,11 @@ func (c *Composite) HWTotals() (cache.Stats, cpu.IBStats, tb.Stats, cpu.HWCounte
 		hw.Interrupts += r.HW.Interrupts
 		hw.Exceptions += r.HW.Exceptions
 		hw.CtxSwitches += r.HW.CtxSwitches
+		hw.MachineChecks += r.HW.MachineChecks
+		hw.MachineChecksLost += r.HW.MachineChecksLost
+		for i := range hw.MachineChecksByCause {
+			hw.MachineChecksByCause[i] += r.HW.MachineChecksByCause[i]
+		}
 		instr += r.Instructions
 	}
 	return cs, ib, ts, hw, instr
