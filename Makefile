@@ -2,15 +2,18 @@
 # go vet, the repo's own vaxlint static analyzers (cross-table invariant
 # proofs, see DESIGN.md "Static analysis & invariants"), the test suite
 # under the race detector, the chaos soak (fault injection into a full OS
-# workload, DESIGN.md "Fault model & machine checks"), and a short fuzz
-# smoke over the disassembler and instruction decoder.
+# workload, DESIGN.md "Fault model & machine checks"), the crash-
+# consistency proof (kill a checkpointed run mid-write, resume, demand
+# bit-identical results; DESIGN.md "Checkpoint format & run supervision"),
+# and a short fuzz smoke over the disassembler, instruction decoder, and
+# checkpoint loader.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint test race soak fuzz-smoke bench
+.PHONY: check build vet lint test race soak crash-consistency fuzz-smoke bench
 
-check: build vet lint race soak fuzz-smoke
+check: build vet lint race soak crash-consistency fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,11 +35,18 @@ race:
 soak:
 	$(GO) test -run TestChaosSoak -race ./internal/fault
 
+# Crash consistency: interrupt a checkpointed run, truncate the newest
+# snapshot generation (a simulated crash mid-write), resume, and require
+# results bit-identical to an uninterrupted run — under the race detector.
+crash-consistency:
+	$(GO) test -race -run 'TestCheckpointResumeDeterminism|TestCrashConsistencyKillAndResume' ./internal/workload
+
 # Short native-fuzz smoke per target; raise FUZZTIME for a real campaign.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDisasmOne -fuzztime $(FUZZTIME) ./internal/asm
 	$(GO) test -fuzz=FuzzDecode$$ -fuzztime $(FUZZTIME) ./internal/vax
 	$(GO) test -fuzz=FuzzDecodeSpecifier -fuzztime $(FUZZTIME) ./internal/vax
+	$(GO) test -fuzz=FuzzCheckpointLoad -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 # Regenerate every table and figure of the paper (see bench_test.go).
 bench:

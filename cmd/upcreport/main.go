@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"vax780/internal/cli"
 	"vax780/internal/core"
 	"vax780/internal/cpu"
 	"vax780/internal/report"
@@ -32,8 +33,7 @@ func main() {
 		return
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "upcreport: need at least one histogram file")
-		os.Exit(1)
+		fatalf("need at least one histogram file")
 	}
 	comp := &core.Histogram{}
 	for _, path := range flag.Args() {
@@ -156,12 +156,10 @@ func main() {
 			[]string{"location", "row", "class", "execs", "stalls", "share"}, rows)
 	}
 	if !strings.Contains("1 2 3 5 7 8 9 all", *table) {
-		fmt.Fprintf(os.Stderr, "upcreport: unknown table %q\n", *table)
-		os.Exit(1)
+		fatalf("unknown table %q", *table)
 	}
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "upcreport: "+format+"\n", args...)
-	os.Exit(1)
+	cli.Fatalf("upcreport", format, args...)
 }

@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"vax780/internal/asm"
+	"vax780/internal/cli"
 )
 
 func main() {
@@ -21,8 +22,7 @@ func main() {
 	listing := flag.Bool("listing", false, "print a disassembly listing")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "vaxasm: need exactly one source file")
-		os.Exit(1)
+		fatalf("need exactly one source file")
 	}
 	origin, err := strconv.ParseUint(*org, 0, 32)
 	if err != nil {
@@ -48,6 +48,5 @@ func main() {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "vaxasm: "+format+"\n", args...)
-	os.Exit(1)
+	cli.Fatalf("vaxasm", format, args...)
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"vax780/internal/asm"
+	"vax780/internal/cli"
 	"vax780/internal/console"
 	"vax780/internal/core"
 	"vax780/internal/cpu"
@@ -27,8 +28,7 @@ func main() {
 	org := flag.Uint64("org", 0x1000, "load address")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "vaxdbg: need one assembly source file")
-		os.Exit(1)
+		fatalf("need one assembly source file")
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -54,6 +54,5 @@ func main() {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "vaxdbg: "+format+"\n", args...)
-	os.Exit(1)
+	cli.Fatalf("vaxdbg", format, args...)
 }

@@ -22,6 +22,7 @@ import (
 	"os/exec"
 
 	"vax780/internal/analysis"
+	"vax780/internal/cli"
 )
 
 func main() {
@@ -54,13 +55,11 @@ func main() {
 
 	pkgs, err := analysis.LoadModule(".", patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vaxlint: %v\n", err)
-		os.Exit(2)
+		cli.Exitf(2, "vaxlint", "%v", err)
 	}
 	diags, err := analysis.Run(analyzers, pkgs)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vaxlint: %v\n", err)
-		os.Exit(2)
+		cli.Exitf(2, "vaxlint", "%v", err)
 	}
 	for _, d := range diags {
 		fmt.Println(d)

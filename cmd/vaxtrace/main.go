@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"vax780/internal/cache"
+	"vax780/internal/cli"
 	"vax780/internal/report"
 	"vax780/internal/trace"
 	"vax780/internal/vmos"
@@ -136,6 +137,5 @@ func main() {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "vaxtrace: "+format+"\n", args...)
-	os.Exit(1)
+	cli.Fatalf("vaxtrace", format, args...)
 }

@@ -1,0 +1,63 @@
+package cache
+
+import "fmt"
+
+// State is the serialized state of the cache, for the checkpoint/resume
+// path (internal/checkpoint). Geometry, the tracer and the fault injector
+// are construction/attachment-time wiring, not run state: the resume path
+// rebuilds the cache from its Config and imports into it.
+
+// LineState is one cache line.
+type LineState struct {
+	Valid bool
+	Tag   uint32
+	LRU   uint64
+}
+
+// State captures every line (sets × ways, in set order), the LRU clock,
+// the statistics and the parity-error latch.
+type State struct {
+	Lines     []LineState
+	Stamp     uint64
+	Stats     Stats
+	FaultAddr uint32
+	HasFault  bool
+}
+
+// ExportState captures the full cache state.
+func (c *Cache) ExportState() State {
+	st := State{
+		Lines:     make([]LineState, 0, len(c.sets)*c.cfg.Ways),
+		Stamp:     c.stamp,
+		Stats:     c.stats,
+		FaultAddr: c.faultAddr,
+		HasFault:  c.hasFault,
+	}
+	for _, set := range c.sets {
+		for _, l := range set {
+			st.Lines = append(st.Lines, LineState{Valid: l.valid, Tag: l.tag, LRU: l.lru})
+		}
+	}
+	return st
+}
+
+// ImportState restores a state captured from a cache of the same geometry.
+func (c *Cache) ImportState(st State) error {
+	if len(st.Lines) != len(c.sets)*c.cfg.Ways {
+		return fmt.Errorf("cache: snapshot holds %d lines, geometry has %d",
+			len(st.Lines), len(c.sets)*c.cfg.Ways)
+	}
+	i := 0
+	for _, set := range c.sets {
+		for w := range set {
+			l := st.Lines[i]
+			set[w] = line{valid: l.Valid, tag: l.Tag, lru: l.LRU}
+			i++
+		}
+	}
+	c.stamp = st.Stamp
+	c.stats = st.Stats
+	c.faultAddr = st.FaultAddr
+	c.hasFault = st.HasFault
+	return nil
+}

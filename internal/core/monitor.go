@@ -13,10 +13,6 @@
 package core
 
 import (
-	"encoding/gob"
-	"fmt"
-	"io"
-
 	"vax780/internal/cpu"
 	"vax780/internal/ucode"
 )
@@ -155,16 +151,31 @@ func (h *Histogram) TotalCycles() uint64 {
 	return t
 }
 
-// Save writes the histogram in a portable binary form.
-func (h *Histogram) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(h)
+// MonitorState is the serialized state of the monitor board, for the
+// checkpoint/resume path (internal/checkpoint): the collected histogram
+// plus the board's control state, so a resumed run keeps counting exactly
+// where the interrupted one stopped.
+type MonitorState struct {
+	Hist      Histogram
+	Running   bool
+	Overflow  bool
+	MaxBucket uint64
 }
 
-// LoadHistogram reads a histogram written by Save.
-func LoadHistogram(r io.Reader) (*Histogram, error) {
-	var h Histogram
-	if err := gob.NewDecoder(r).Decode(&h); err != nil {
-		return nil, fmt.Errorf("core: loading histogram: %w", err)
+// ExportState captures the board state (the histogram is copied).
+func (mo *Monitor) ExportState() MonitorState {
+	return MonitorState{
+		Hist:      mo.hist,
+		Running:   mo.running,
+		Overflow:  mo.overflow,
+		MaxBucket: mo.maxBucket,
 	}
-	return &h, nil
+}
+
+// ImportState restores a captured board state.
+func (mo *Monitor) ImportState(st MonitorState) {
+	mo.hist = st.Hist
+	mo.running = st.Running
+	mo.overflow = st.Overflow
+	mo.maxBucket = st.MaxBucket
 }

@@ -113,6 +113,7 @@ func (m *Machine) StepInstruction() {
 		}
 	}
 	m.instret++
+	m.wdLastRetire = m.cycle
 }
 
 // tickFree counts an execution without spending a cycle (used only by the

@@ -13,6 +13,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"vax780/internal/cache"
@@ -121,6 +122,12 @@ type Machine struct {
 	inExc        bool // exception delivery in progress (nesting guard)
 	instAborted  bool // current instruction faulted; skip its remaining phases
 	patchCtr     int  // instructions until the next patched microword
+
+	// Progress watchdog (see SetWatchdog): a machine that burns wdLimit
+	// cycles without retiring an instruction is stopped with a structured
+	// error instead of spinning forever.
+	wdLimit      uint64
+	wdLastRetire uint64 // cycle at which the last instruction retired
 
 	// Machine-check state (see mcheck.go).
 	plane     *fault.Plane
@@ -238,6 +245,9 @@ func (m *Machine) tick(w uint16) {
 		m.probe.Count(w, 1)
 	}
 	m.cycle++
+	if m.wdLimit != 0 && m.cycle-m.wdLastRetire > m.wdLimit {
+		m.watchdogExpire()
+	}
 }
 
 // ticks executes n cycles at w (a microcode loop revisiting one location).
@@ -257,6 +267,9 @@ func (m *Machine) stall(w uint16, n uint64) {
 		m.probe.Stall(w, n)
 	}
 	m.cycle += n
+	if m.wdLimit != 0 && m.cycle-m.wdLastRetire > m.wdLimit {
+		m.watchdogExpire()
+	}
 }
 
 // ibStallTick burns one cycle waiting for IB bytes, counted as an
@@ -267,6 +280,35 @@ func (m *Machine) ibStallTick(w uint16) {
 		m.probe.Count(w, 1)
 	}
 	m.cycle++
+	if m.wdLimit != 0 && m.cycle-m.wdLastRetire > m.wdLimit {
+		m.watchdogExpire()
+	}
+}
+
+// SetWatchdog arms the progress watchdog: if the machine executes cycles
+// cycles without retiring a single instruction — a wedged µPC loop, an
+// interrupt storm, a microcode spin — it stops with a *MachineError
+// recording the stuck µPC and a full diagnostic state dump. Zero disarms.
+// The budget must comfortably exceed the longest legitimate instruction
+// (a maximum-length character-string instruction runs for tens of
+// thousands of cycles).
+func (m *Machine) SetWatchdog(cycles uint64) {
+	m.wdLimit = cycles
+	m.wdLastRetire = m.cycle
+}
+
+// watchdogExpire stops the machine with a livelock diagnosis. The failure
+// µPC is the location the machine was stuck at; the error carries a state
+// dump taken at expiry.
+func (m *Machine) watchdogExpire() {
+	if m.runErr != nil {
+		return
+	}
+	dump := m.StateDump()
+	m.fail("watchdog: no instruction retired in %d cycles (stuck at µpc %#04x)", m.wdLimit, m.upc)
+	if me, ok := m.runErr.(*MachineError); ok {
+		me.Dump = dump
+	}
 }
 
 // HaltReason classifies why the machine stopped.
@@ -301,6 +343,10 @@ type MachineError struct {
 	UPC   uint16
 	Cycle uint64
 	Msg   string
+	// Dump, when non-empty, is a diagnostic state snapshot taken at the
+	// failure (the watchdog fills it in; see StateDump). It is not part
+	// of Error() — callers that want the post-mortem print it explicitly.
+	Dump string
 }
 
 func (e *MachineError) Error() string {
@@ -319,20 +365,38 @@ type RunResult struct {
 // Run executes instructions until a kernel-mode HALT, an unrecoverable
 // error, or the cycle budget is exhausted.
 func (m *Machine) Run(maxCycles uint64) RunResult {
+	return m.RunCtx(context.Background(), maxCycles)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is polled at
+// every instruction boundary, so a cancelled or expired context stops the
+// machine cleanly between instructions — the state remains checkpointable.
+// On cancellation the result's Err is the context's error (the machine
+// itself carries no sticky error and can keep running).
+func (m *Machine) RunCtx(ctx context.Context, maxCycles uint64) RunResult {
 	start := m.cycle
 	startInst := m.instret
+	var ctxErr error
 	for !m.halted && m.runErr == nil && m.cycle-start < maxCycles {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		m.StepInstruction()
 		if m.OnInstruction != nil {
 			m.OnInstruction(m)
 		}
+	}
+	err := m.runErr
+	if err == nil {
+		err = ctxErr
 	}
 	return RunResult{
 		Cycles:       m.cycle - start,
 		Instructions: m.instret - startInst,
 		Halted:       m.halted,
 		Reason:       m.haltReason,
-		Err:          m.runErr,
+		Err:          err,
 	}
 }
 

@@ -1,0 +1,87 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vax780/internal/asm"
+	"vax780/internal/vax"
+)
+
+// TestWatchdogConvertsWedgedMachine arms the progress watchdog with a
+// budget far smaller than one long string instruction: the machine burns
+// thousands of cycles without retiring, the watchdog fires mid-
+// instruction, and the run ends with a structured *MachineError carrying
+// the stuck µPC and a diagnostic state dump — not an endless spin.
+func TestWatchdogConvertsWedgedMachine(t *testing.T) {
+	im, err := asm.Assemble(0x1000, `
+	MOVC3	#4096, src, dst
+	HALT
+src:	.space	4096
+dst:	.space	4096
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(Config{MemBytes: 1 << 20})
+	m.Mem.Load(im.Org, im.Bytes)
+	m.R[vax.SP] = 0x8000
+	m.SetPC(im.Org)
+	m.SetWatchdog(300)
+
+	res := m.Run(2_000_000)
+	if res.Err == nil {
+		t.Fatalf("wedged machine ran to completion (halted=%v after %d cycles)", res.Halted, res.Cycles)
+	}
+	var me *MachineError
+	if !errors.As(res.Err, &me) {
+		t.Fatalf("want *MachineError, got %T: %v", res.Err, res.Err)
+	}
+	if !strings.Contains(me.Msg, "watchdog") {
+		t.Errorf("error does not identify the watchdog: %q", me.Msg)
+	}
+	if !strings.Contains(me.Msg, "µpc") {
+		t.Errorf("error does not report the stuck µpc: %q", me.Msg)
+	}
+	if me.Dump == "" {
+		t.Error("watchdog error carries no state dump")
+	}
+	for _, want := range []string{"r0", "psl", "cycle"} {
+		if !strings.Contains(strings.ToLower(me.Dump), want) {
+			t.Errorf("state dump missing %q:\n%s", want, me.Dump)
+		}
+	}
+	// The run must end within the wedged instruction (string loops poll
+	// no flags, so the error surfaces at the instruction's end), far
+	// inside the 2M-cycle budget.
+	if res.Cycles > 100_000 {
+		t.Errorf("watchdog let the machine spin for %d cycles", res.Cycles)
+	}
+}
+
+// TestWatchdogQuietOnProgress: a program that retires instructions
+// steadily must never trip even a small watchdog budget (every retirement
+// resets the clock).
+func TestWatchdogQuietOnProgress(t *testing.T) {
+	im, err := asm.Assemble(0x1000, `
+	MOVL	#2000, R7
+loop:	SOBGTR	R7, loop
+	HALT
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(Config{MemBytes: 1 << 20})
+	m.Mem.Load(im.Org, im.Bytes)
+	m.R[vax.SP] = 0x8000
+	m.SetPC(im.Org)
+	m.SetWatchdog(300)
+	res := m.Run(2_000_000)
+	if res.Err != nil {
+		t.Fatalf("watchdog tripped on a progressing machine: %v", res.Err)
+	}
+	if !res.Halted {
+		t.Fatal("program did not halt")
+	}
+}

@@ -42,6 +42,14 @@ func NewContext(cyclesEach uint64, mcfg cpu.Config) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewContextFromComposite(comp, mcfg), nil
+}
+
+// NewContextFromComposite wraps an already-measured composite (e.g. one
+// assembled by workload.RunCompositeSupervised from checkpointed runs)
+// in an experiment context. Deterministic resume makes the resulting
+// tables bit-identical to an uninterrupted NewContext measurement.
+func NewContextFromComposite(comp *workload.Composite, mcfg cpu.Config) *Context {
 	cs, ib, ts, hw, instr := comp.HWTotals()
 	return &Context{
 		Comp:      comp,
@@ -52,7 +60,7 @@ func NewContext(cyclesEach uint64, mcfg cpu.Config) (*Context, error) {
 		HW:        hw,
 		MachInstr: instr,
 		Machine:   cpu.New(mcfg),
-	}, nil
+	}
 }
 
 // Outcome is one experiment's rendered result.

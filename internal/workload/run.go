@@ -25,16 +25,22 @@ type Result struct {
 	Faults       fault.Stats // injection activity (zero without a plane)
 }
 
-// Run executes one workload for the given cycle budget under a collecting
-// monitor and returns the measurement.
-func Run(p Profile, cycles uint64, mcfg cpu.Config) (*Result, error) {
-	return RunInjected(p, cycles, mcfg, nil)
+// session is one prepared measurement run: a booted system with monitor
+// and (optional) fault plane attached. Both the plain and the supervised
+// run paths build one, and the resume path builds one and then overwrites
+// its state from a snapshot.
+type session struct {
+	p      Profile
+	cycles uint64 // total cycle budget
+	sys    *vmos.System
+	mon    *core.Monitor
+	plane  *fault.Plane
 }
 
-// RunInjected is Run with a fault-injection plane attached to the machine
-// (nil behaves exactly like Run). Injected runs exercise the machine-check
-// path; their tables are NOT comparable with the paper's clean numbers.
-func RunInjected(p Profile, cycles uint64, mcfg cpu.Config, plane *fault.Plane) (*Result, error) {
+// build boots a measurement session for one workload. The construction is
+// deterministic in (p, cycles, mcfg): the resume path depends on two
+// builds from the same inputs being identical before state import.
+func build(p Profile, cycles uint64, mcfg cpu.Config, plane *fault.Plane) (*session, error) {
 	sys := vmos.NewSystem(vmos.Config{
 		Machine:     mcfg,
 		IncludeNull: true,
@@ -64,26 +70,47 @@ func RunInjected(p Profile, cycles uint64, mcfg cpu.Config, plane *fault.Plane) 
 	}
 	sys.SetScriptText(p.Script)
 	sys.QueueTerminalEvents(p.TerminalSchedule(cycles))
+	return &session{p: p, cycles: cycles, sys: sys, mon: mon, plane: plane}, nil
+}
 
-	res := sys.Run(cycles)
-	if res.Err != nil {
-		return nil, fmt.Errorf("workload %s: run: %w", p.Name, res.Err)
-	}
-	if res.Halted {
-		return nil, fmt.Errorf("workload %s: halted unexpectedly (kernel fatal)", p.Name)
-	}
-	m := sys.Machine()
+// result assembles the measurement from the session's current state.
+func (s *session) result() *Result {
+	m := s.sys.Machine()
 	return &Result{
-		Profile:      p,
-		Hist:         mon.Snapshot(),
+		Profile:      s.p,
+		Hist:         s.mon.Snapshot(),
 		Instructions: m.Instructions(),
 		Cycles:       m.Cycle(),
 		Cache:        m.Cache.Stats(),
 		IB:           m.IBStats(),
 		TB:           m.TLB.Stats(),
 		HW:           m.HW(),
-		Faults:       plane.Stats(),
-	}, nil
+		Faults:       s.plane.Stats(),
+	}
+}
+
+// Run executes one workload for the given cycle budget under a collecting
+// monitor and returns the measurement.
+func Run(p Profile, cycles uint64, mcfg cpu.Config) (*Result, error) {
+	return RunInjected(p, cycles, mcfg, nil)
+}
+
+// RunInjected is Run with a fault-injection plane attached to the machine
+// (nil behaves exactly like Run). Injected runs exercise the machine-check
+// path; their tables are NOT comparable with the paper's clean numbers.
+func RunInjected(p Profile, cycles uint64, mcfg cpu.Config, plane *fault.Plane) (*Result, error) {
+	s, err := build(p, cycles, mcfg, plane)
+	if err != nil {
+		return nil, err
+	}
+	res := s.sys.Run(cycles)
+	if res.Err != nil {
+		return nil, fmt.Errorf("workload %s: run: %w", p.Name, res.Err)
+	}
+	if res.Halted {
+		return nil, fmt.Errorf("workload %s: halted unexpectedly (kernel fatal)", p.Name)
+	}
+	return s.result(), nil
 }
 
 // Composite is the sum of the five workloads' histograms — the paper

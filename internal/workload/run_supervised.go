@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"vax780/internal/checkpoint"
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/fault"
+)
+
+// Run supervision: the paper's measurement sessions ran for about an hour
+// attached to live machines (§2.2); at that scale the measurement
+// infrastructure itself must survive interruption. A supervised run adds,
+// on top of the plain Run loop:
+//
+//   - cooperative cancellation (context) checked at instruction
+//     boundaries, so SIGINT/SIGTERM and deadlines stop the machine in a
+//     checkpointable state;
+//   - a wall-clock deadline;
+//   - a periodic auto-checkpoint ticker writing atomic snapshot
+//     generations (internal/checkpoint);
+//   - a progress watchdog converting a wedged machine — no instruction
+//     retired for a cycle budget — into a structured *cpu.MachineError
+//     with the stuck µPC and a state dump, instead of an infinite spin.
+//
+// Resumed runs are bit-identical to uninterrupted ones (proved by
+// TestCheckpointResumeDeterminism), so an interrupted measurement keeps
+// its validity for paper-table comparisons.
+
+// Supervisor defaults.
+const (
+	// DefaultCheckpointEvery is the auto-checkpoint period in cycles.
+	DefaultCheckpointEvery = 1_000_000
+	// DefaultWatchdogCycles is the progress watchdog budget. It must
+	// comfortably exceed the longest legitimate instruction plus the
+	// longest delivery sequence; the worst case in the model is a
+	// maximum-length character-string instruction at tens of thousands
+	// of cycles, so two million cycles of no retirement is a wedge.
+	DefaultWatchdogCycles = 2_000_000
+)
+
+// ErrStopRequested is the cancellation cause of a run stopped by the
+// supervisor's StopAt cycle mark.
+var ErrStopRequested = errors.New("stop-at cycle reached")
+
+// Supervisor configures a supervised run. The zero value supervises with
+// defaults and no checkpointing, no deadline.
+type Supervisor struct {
+	// CheckpointDir enables periodic checkpointing into the directory
+	// (created if needed). Empty disables.
+	CheckpointDir string
+	// CheckpointEvery is the auto-checkpoint period in cycles
+	// (DefaultCheckpointEvery when zero).
+	CheckpointEvery uint64
+	// Keep is the number of snapshot generations retained
+	// (checkpoint.DefaultKeep when zero).
+	Keep int
+	// Watchdog is the progress watchdog budget in cycles
+	// (DefaultWatchdogCycles when zero).
+	Watchdog uint64
+	// Deadline is the wall-clock run budget (none when zero). An expired
+	// deadline checkpoints and returns *Interrupted.
+	Deadline time.Duration
+	// StopAt, when nonzero and below the cycle budget, stops the run
+	// (with a final checkpoint) once the machine reaches that cycle —
+	// a deterministic interruption point for staged runs and tests.
+	StopAt uint64
+}
+
+// Spec names a supervised run: which workload, for how long, on what
+// machine, with what fault injection (nil = clean).
+type Spec struct {
+	Profile Profile
+	Cycles  uint64
+	Machine cpu.Config
+	Fault   *fault.Config
+}
+
+// Interrupted reports a supervised run stopped before completing its
+// cycle budget — by cancellation, deadline, or StopAt — with the final
+// checkpoint (if a checkpoint directory was configured) recorded so the
+// run can be resumed.
+type Interrupted struct {
+	Cause      error  // context.Canceled, context.DeadlineExceeded, or ErrStopRequested
+	Cycle      uint64 // machine cycle at the stop
+	Checkpoint string // path of the final snapshot ("" without a checkpoint dir)
+}
+
+func (e *Interrupted) Error() string {
+	msg := fmt.Sprintf("run interrupted at cycle %d: %v", e.Cycle, e.Cause)
+	if e.Checkpoint != "" {
+		msg += "; checkpoint written to " + e.Checkpoint
+	}
+	return msg
+}
+
+func (e *Interrupted) Unwrap() error { return e.Cause }
+
+// RunSupervised executes one workload under the supervisor.
+func RunSupervised(ctx context.Context, spec Spec, sup Supervisor) (*Result, error) {
+	var plane *fault.Plane
+	if spec.Fault != nil {
+		plane = fault.NewPlane(*spec.Fault)
+	}
+	s, err := build(spec.Profile, spec.Cycles, spec.Machine, plane)
+	if err != nil {
+		return nil, err
+	}
+	return s.supervise(ctx, spec.Fault, sup)
+}
+
+// ResumeSupervised continues a checkpointed run from the newest loadable
+// snapshot generation in dir (corrupt generations are skipped). A
+// snapshot of a completed run reconstructs its Result without running.
+// Unless sup.CheckpointDir says otherwise, further checkpoints go back
+// to dir.
+func ResumeSupervised(ctx context.Context, dir string, sup Supervisor) (*Result, error) {
+	d, err := checkpoint.Open(dir, sup.Keep)
+	if err != nil {
+		return nil, err
+	}
+	snap, _, err := d.LoadLatest()
+	if err != nil {
+		return nil, err
+	}
+	s, err := restore(snap)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Complete() {
+		return s.result(), nil
+	}
+	if sup.CheckpointDir == "" {
+		sup.CheckpointDir = dir
+	}
+	return s.supervise(ctx, snap.Meta.Fault, sup)
+}
+
+// restore rebuilds a session from a snapshot: the same deterministic
+// construction as a fresh run, then every piece of captured state
+// imported over it.
+func restore(snap *checkpoint.Snapshot) (*session, error) {
+	p, ok := ByName(snap.Meta.Profile)
+	if !ok {
+		return nil, fmt.Errorf("workload: snapshot is of unknown workload %q", snap.Meta.Profile)
+	}
+	var plane *fault.Plane
+	if snap.Meta.Fault != nil {
+		plane = fault.NewPlane(*snap.Meta.Fault)
+	}
+	s, err := build(p, snap.Meta.TotalCycles, snap.Meta.Machine, plane)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.sys.Machine().ImportState(snap.CPU); err != nil {
+		return nil, fmt.Errorf("workload %s: restoring machine: %w", p.Name, err)
+	}
+	if err := s.sys.ImportState(snap.OS); err != nil {
+		return nil, fmt.Errorf("workload %s: restoring system: %w", p.Name, err)
+	}
+	s.mon.ImportState(snap.Monitor)
+	s.plane.ImportState(snap.FaultState)
+	return s, nil
+}
+
+// snapshot captures the session's complete state.
+func (s *session) snapshot(fcfg *fault.Config) (*checkpoint.Snapshot, error) {
+	m := s.sys.Machine()
+	cpuSt, err := m.ExportState()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", s.p.Name, err)
+	}
+	osSt, err := s.sys.ExportState()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", s.p.Name, err)
+	}
+	return &checkpoint.Snapshot{
+		Meta: checkpoint.Meta{
+			Profile:     s.p.Name,
+			TotalCycles: s.cycles,
+			Cycle:       m.Cycle(),
+			Machine:     m.Config(),
+			Fault:       fcfg,
+		},
+		CPU:        cpuSt,
+		OS:         osSt,
+		Monitor:    s.mon.ExportState(),
+		FaultState: s.plane.ExportState(),
+	}, nil
+}
+
+// supervise is the supervised run loop: execute in slices bounded by the
+// next checkpoint tick, checkpoint between slices, stop cleanly on
+// cancellation, deadline, StopAt, completion, or machine failure.
+func (s *session) supervise(ctx context.Context, fcfg *fault.Config, sup Supervisor) (*Result, error) {
+	m := s.sys.Machine()
+	wd := sup.Watchdog
+	if wd == 0 {
+		wd = DefaultWatchdogCycles
+	}
+	m.SetWatchdog(wd)
+
+	var dir *checkpoint.Dir
+	if sup.CheckpointDir != "" {
+		var err error
+		dir, err = checkpoint.Open(sup.CheckpointDir, sup.Keep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sup.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sup.Deadline)
+		defer cancel()
+	}
+	every := sup.CheckpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	stopAt := s.cycles
+	if sup.StopAt != 0 && sup.StopAt < stopAt {
+		stopAt = sup.StopAt
+	}
+
+	lastCkpt := ""
+	writeCkpt := func() error {
+		if dir == nil {
+			return nil
+		}
+		snap, err := s.snapshot(fcfg)
+		if err != nil {
+			return err
+		}
+		path, err := dir.Save(snap)
+		if err != nil {
+			return err
+		}
+		lastCkpt = path
+		return nil
+	}
+
+	for m.Cycle() < stopAt {
+		chunk := stopAt - m.Cycle()
+		if dir != nil {
+			if nextTick := (m.Cycle()/every + 1) * every; nextTick < m.Cycle()+chunk {
+				chunk = nextTick - m.Cycle()
+			}
+		}
+		res := s.sys.RunCtx(ctx, chunk)
+		if res.Err != nil {
+			if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+				if err := writeCkpt(); err != nil {
+					return nil, fmt.Errorf("interrupted at cycle %d and the final checkpoint failed: %w",
+						m.Cycle(), err)
+				}
+				return nil, &Interrupted{Cause: res.Err, Cycle: m.Cycle(), Checkpoint: lastCkpt}
+			}
+			return nil, fmt.Errorf("workload %s: run: %w", s.p.Name, res.Err)
+		}
+		if res.Halted {
+			return nil, fmt.Errorf("workload %s: halted unexpectedly (kernel fatal)", s.p.Name)
+		}
+		if err := writeCkpt(); err != nil {
+			return nil, err
+		}
+	}
+	if stopAt < s.cycles {
+		return nil, &Interrupted{Cause: ErrStopRequested, Cycle: m.Cycle(), Checkpoint: lastCkpt}
+	}
+	return s.result(), nil
+}
+
+// RunCompositeSupervised measures the five-workload composite under the
+// supervisor, checkpointing each workload into its own subdirectory of
+// sup.CheckpointDir. With resume set, workloads whose subdirectory holds
+// a loadable snapshot continue from it — completed workloads reconstruct
+// their Result without re-running — so a crashed or interrupted composite
+// picks up where it stopped.
+func RunCompositeSupervised(ctx context.Context, cyclesEach uint64, mcfg cpu.Config, sup Supervisor, resume bool) (*Composite, error) {
+	comp := &Composite{Hist: &core.Histogram{}}
+	for _, p := range All() {
+		sub := sup
+		if sup.CheckpointDir != "" {
+			sub.CheckpointDir = filepath.Join(sup.CheckpointDir, p.Name)
+		}
+		r, err := runOneComposite(ctx, p, cyclesEach, mcfg, sub, resume)
+		if err != nil {
+			return nil, err
+		}
+		comp.Runs = append(comp.Runs, r)
+		comp.Hist.Add(r.Hist)
+	}
+	return comp, nil
+}
+
+func runOneComposite(ctx context.Context, p Profile, cyclesEach uint64, mcfg cpu.Config, sup Supervisor, resume bool) (*Result, error) {
+	if resume && sup.CheckpointDir != "" {
+		d, err := checkpoint.Open(sup.CheckpointDir, sup.Keep)
+		if err != nil {
+			return nil, err
+		}
+		gens, err := d.Generations()
+		if err != nil {
+			return nil, err
+		}
+		if len(gens) > 0 {
+			return ResumeSupervised(ctx, sup.CheckpointDir, sup)
+		}
+		// No generations yet: this workload had not started; fall through.
+	}
+	return RunSupervised(ctx, Spec{Profile: p, Cycles: cyclesEach, Machine: mcfg}, sup)
+}
