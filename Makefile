@@ -1,6 +1,7 @@
 # Developer entry points. `make check` is the full pre-merge gate: build,
 # go vet, the repo's own vaxlint static analyzers (cross-table invariant
-# proofs, see DESIGN.md "Static analysis & invariants"), the test suite
+# and determinism-contract proofs, see DESIGN.md "Static analysis &
+# invariants"), the test suite
 # under the race detector, the chaos soak (fault injection into a full OS
 # workload, DESIGN.md "Fault model & machine checks"), the crash-
 # consistency proof (kill a checkpointed run mid-write, resume, demand
@@ -11,9 +12,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint test race soak crash-consistency fuzz-smoke bench
+.PHONY: check build vet lint vaxlint test race soak crash-consistency fuzz-smoke bench
 
-check: build vet lint race soak crash-consistency fuzz-smoke
+check: build vet vaxlint race soak crash-consistency fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,8 +22,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+# All eight analyzers, human-readable; vet is its own target above.
+vaxlint:
+	$(GO) run ./cmd/vaxlint -vet=false ./...
+
+# Same run, one JSON object per finding on stdout — for editors and CI
+# annotators.
 lint:
-	$(GO) run ./cmd/vaxlint ./...
+	$(GO) run ./cmd/vaxlint -vet=false -json ./...
 
 test:
 	$(GO) test ./...

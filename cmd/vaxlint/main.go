@@ -1,41 +1,84 @@
-// Command vaxlint statically proves the simulator's cross-table
-// invariants: opcode table ↔ execute-microroutine registration, microword
-// name references ↔ control-store declarations, paper headline numbers ↔
-// internal/paper, and the single-threaded Machine/probe contract. It is a
-// multichecker-style driver for the analyzers in internal/analysis and is
-// part of the tier-1 verify (see Makefile `check`).
+// Command vaxlint statically proves the simulator's invariants: opcode
+// table ↔ execute-microroutine registration, microword name references ↔
+// control-store declarations, paper headline numbers ↔ internal/paper,
+// the single-threaded Machine/probe contract, determinism of the
+// measurement core (no wall clock, no global rand, no map iteration
+// reachable from the simulation loop, serializers or checkpoint paths),
+// checkpoint state-completeness, typed boundary errors, and exhaustive
+// enum switches. It is a multichecker-style driver for the analyzers in
+// internal/analysis and is part of the tier-1 verify (Makefile `check`).
 //
 // Usage:
 //
-//	go run ./cmd/vaxlint ./...          # whole module (the normal form)
-//	go run ./cmd/vaxlint -vet=false .   # skip the standard go vet passes
-//	go run ./cmd/vaxlint -list          # show the suite
+//	go run ./cmd/vaxlint ./...                  # whole module (the normal form)
+//	go run ./cmd/vaxlint -vet=false ./...       # skip the standard go vet passes
+//	go run ./cmd/vaxlint -run determinism ./... # only the named analyzers
+//	go run ./cmd/vaxlint -json ./...            # machine-readable findings
+//	go run ./cmd/vaxlint -list                  # show the suite
 //
-// Exit status is 0 when the tree is clean, 1 when any analyzer reports a
-// finding (or go vet fails), 2 on a load error.
+// Contract:
+//
+//   - exit 0: the tree is clean — no analyzer reported a finding (and go
+//     vet passed, unless -vet=false);
+//   - exit 1: findings were reported (or go vet failed); with -json each
+//     finding is one JSON object per line on stdout, of the form
+//     {"file":...,"line":...,"col":...,"analyzer":...,"message":...},
+//     findings only — vet output stays on stderr;
+//   - exit 2: the load itself failed (bad pattern, unparseable or
+//     untypeable source, unknown -run name): no findings were computed
+//     and the tree's health is unknown.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"strings"
 
 	"vax780/internal/analysis"
 	"vax780/internal/cli"
 )
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	runVet := flag.Bool("vet", true, "also run the standard `go vet` passes")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
 	flag.Parse()
 
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *runNames != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var selected []*analysis.Analyzer
+		for _, name := range strings.Split(*runNames, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				cli.Exitf(2, "vaxlint", "unknown analyzer %q (see -list)", name)
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
 	}
 
 	patterns := flag.Args()
@@ -46,7 +89,7 @@ func main() {
 	exitCode := 0
 	if *runVet {
 		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
-		vet.Stdout = os.Stdout
+		vet.Stdout = os.Stderr // keep stdout JSON-clean
 		vet.Stderr = os.Stderr
 		if err := vet.Run(); err != nil {
 			exitCode = 1
@@ -61,7 +104,18 @@ func main() {
 	if err != nil {
 		cli.Exitf(2, "vaxlint", "%v", err)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			_ = enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Escape hatch. A finding can be suppressed in source with
+//
+//	//vaxlint:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// either trailing on the offending line or standing alone on the line
+// directly above it. The justification is mandatory: an allow without
+// one is itself a finding (the build stays red), so every suppression in
+// the tree carries its reason next to the code it excuses. Unknown
+// analyzer names are findings too — a typo must not silently allow
+// nothing.
+
+const allowPrefix = "//vaxlint:allow"
+
+// allowNote is one parsed //vaxlint:allow comment.
+type allowNote struct {
+	analyzers []string
+	reason    string
+	pos       token.Pos
+	raw       string
+}
+
+// allowKey locates a note by file and line.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowIndex maps every source line carrying (or directly below) an
+// allow comment to its note. Built once per Run over every package of
+// the load.
+type allowIndex map[allowKey]*allowNote
+
+// covers reports whether the note names the analyzer.
+func (n *allowNote) covers(analyzer string) bool {
+	for _, a := range n.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAllowIndex scans the comments of pkgs for allow notes. A note is
+// indexed at its own line (suppressing trailing-comment findings) and at
+// the line below (suppressing findings on the annotated statement when
+// the comment stands alone above it).
+func buildAllowIndex(pkgs []*Package) allowIndex {
+	idx := make(allowIndex)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					note := parseAllow(c.Text, c.Pos())
+					p := pkg.Fset.Position(c.Pos())
+					idx[allowKey{p.Filename, p.Line}] = note
+					idx[allowKey{p.Filename, p.Line + 1}] = note
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow splits "//vaxlint:allow a,b -- reason" into its parts. A
+// missing "--" or empty reason leaves reason empty, which validation
+// reports.
+func parseAllow(text string, pos token.Pos) *allowNote {
+	note := &allowNote{pos: pos, raw: text}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	names := rest
+	if i := strings.Index(rest, "--"); i >= 0 {
+		names = rest[:i]
+		note.reason = strings.TrimSpace(rest[i+2:])
+	}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			note.analyzers = append(note.analyzers, n)
+		}
+	}
+	return note
+}
+
+// validateAllows reports malformed allow notes: no justification, no
+// analyzer names, or names outside the known set. Reported under the
+// pseudo-analyzer "allow" so `make check` fails on an annotation that
+// excuses nothing or excuses it without saying why.
+func validateAllows(idx allowIndex, known map[string]bool, fset *token.FileSet, diags *[]Diagnostic) {
+	seen := make(map[*allowNote]bool)
+	for _, note := range idx {
+		if seen[note] {
+			continue
+		}
+		seen[note] = true
+		report := func(format string, args ...any) {
+			*diags = append(*diags, Diagnostic{
+				Pos:      fset.Position(note.pos),
+				Analyzer: "allow",
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		if len(note.analyzers) == 0 {
+			report("vaxlint:allow names no analyzer: %q", note.raw)
+		}
+		for _, a := range note.analyzers {
+			if !known[a] {
+				report("vaxlint:allow names unknown analyzer %q", a)
+			}
+		}
+		if note.reason == "" {
+			report("vaxlint:allow lacks a justification; write //vaxlint:allow <analyzer> -- <reason>")
+		}
+	}
+}
+
+// Allowed reports whether a finding of this pass's analyzer at pos is
+// suppressed by a justified allow note. Analyzers that aggregate
+// findings across functions (determinism) call it at collection time so
+// an excused site never enters a fact; Reportf calls it for everyone
+// else. Notes without a justification never suppress — they are
+// themselves findings.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allows == nil {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	note, ok := p.allows[allowKey{position.Filename, position.Line}]
+	if !ok {
+		return false
+	}
+	return note.covers(p.Analyzer.Name) && note.reason != ""
+}

@@ -62,7 +62,9 @@ type Pass struct {
 	Pkg      *Package   // package under analysis; nil for module-level runs
 	All      []*Package // every package in the load, in dependency order
 
-	diags *[]Diagnostic
+	diags  *[]Diagnostic
+	facts  factStore  // shared by the analyzer's passes, nil for module-level
+	allows allowIndex // //vaxlint:allow notes of the whole load
 }
 
 // Diagnostic is one finding.
@@ -76,8 +78,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos, unless a justified
+// //vaxlint:allow note for this analyzer covers the position.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
@@ -88,22 +94,60 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run executes the analyzers over the loaded packages and returns every
 // finding, sorted by file position. A non-nil error means an analyzer
 // itself failed, not that it found problems.
+//
+// Package-level analyzers run over pkgs in slice order, which the loader
+// guarantees is dependency order; facts exported while analyzing a
+// package are therefore visible in every pass over its importers.
+// Each pass positions its diagnostics with its own package's FileSet —
+// a load whose packages span several FileSets (hand-assembled inputs)
+// must not silently borrow pkgs[0]'s, or a diagnostic could name the
+// wrong file; module-level analyzers, which report across the whole
+// load through one Fset, refuse such an input outright.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	if len(pkgs) == 0 {
 		return nil, nil
 	}
 	var diags []Diagnostic
-	fset := pkgs[0].Fset
+	sharedFset := pkgs[0].Fset
+	for _, pkg := range pkgs[1:] {
+		if pkg.Fset != sharedFset {
+			sharedFset = nil
+			break
+		}
+	}
+
+	allows := buildAllowIndex(pkgs)
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	if sharedFset != nil {
+		validateAllows(allows, known, sharedFset, &diags)
+	} else {
+		// Distinct FileSets: validate per package so positions resolve
+		// against the owning package's Fset.
+		for _, pkg := range pkgs {
+			validateAllows(buildAllowIndex([]*Package{pkg}), known, pkg.Fset, &diags)
+		}
+	}
+
 	for _, a := range analyzers {
 		if a.ModuleLevel {
-			pass := &Pass{Analyzer: a, Fset: fset, All: pkgs, diags: &diags}
+			if sharedFset == nil {
+				return diags, fmt.Errorf("%s: module-level analyzer over packages with distinct FileSets", a.Name)
+			}
+			pass := &Pass{Analyzer: a, Fset: sharedFset, All: pkgs, diags: &diags, allows: allows}
 			if err := a.Run(pass); err != nil {
 				return diags, fmt.Errorf("%s: %w", a.Name, err)
 			}
 			continue
 		}
+		facts := make(factStore)
 		for _, pkg := range pkgs {
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, All: pkgs, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, All: pkgs, diags: &diags, facts: facts, allows: allows}
 			if err := a.Run(pass); err != nil {
 				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
@@ -122,9 +166,14 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// All is the vaxlint suite in reporting order.
+// All is the vaxlint suite in reporting order: the four cross-table
+// analyzers from the original suite, then the four determinism-contract
+// analyzers built on the fact layer.
 func All() []*Analyzer {
-	return []*Analyzer{ExecTable, UWRef, PaperConst, ProbeSafe}
+	return []*Analyzer{
+		ExecTable, UWRef, PaperConst, ProbeSafe,
+		Determinism, StateComplete, TypedErr, Exhaustive,
+	}
 }
 
 // WalkWithStack walks every file of pkg, calling fn with the node and the

@@ -4,10 +4,12 @@
 //
 // An expectation is a trailing line comment of the form
 //
-//	// want "regexp" "another regexp"
+//	// want "regexp" `another regexp`
 //
 // every diagnostic reported on that line must match one of the regexps,
-// and every regexp must be matched by exactly one diagnostic.
+// and every regexp must be matched by exactly one diagnostic. Backquoted
+// patterns are raw — no escape processing — which keeps regexps with
+// backslashes readable.
 package analysistest
 
 import (
@@ -23,16 +25,20 @@ import (
 
 var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
-// Run loads testdata/src/<pkg>, applies the analyzer, and reports any
-// mismatch between expected and actual diagnostics as test failures.
+// Run loads testdata/src/<pkg> and every local package it imports,
+// applies the analyzer over all of them in dependency order (so facts
+// propagate exactly as in a real load), and reports any mismatch between
+// expected and actual diagnostics as test failures. Expectations are
+// honored in every loaded package, not just the named one — a fixture
+// can assert diagnostics in its dependencies.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
 	srcRoot := filepath.Join(testdata, "src")
-	p, err := analysis.LoadTestdataPackage(srcRoot, pkg)
+	pkgs, err := analysis.LoadTestdataPackages(srcRoot, pkg)
 	if err != nil {
 		t.Fatalf("loading %s: %v", pkg, err)
 	}
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{p})
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -45,8 +51,12 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 		rx      *regexp.Regexp
 		matched bool
 	}
+	var files []string
+	for _, p := range pkgs {
+		files = append(files, packageFiles(t, srcRoot, p.Path)...)
+	}
 	want := make(map[key][]*expectation)
-	for _, name := range packageFiles(t, srcRoot, pkg) {
+	for _, name := range files {
 		data, err := os.ReadFile(name)
 		if err != nil {
 			t.Fatal(err)
@@ -106,35 +116,45 @@ func packageFiles(t *testing.T, srcRoot, pkg string) []string {
 	return out
 }
 
-// splitQuoted extracts the double-quoted strings of a want clause.
+// splitQuoted extracts the quoted strings of a want clause: double-quoted
+// (Go escape processing applies) or backquoted (raw).
 func splitQuoted(t *testing.T, file string, line int, s string) []string {
 	t.Helper()
 	var out []string
 	s = strings.TrimSpace(s)
 	for s != "" {
-		if s[0] != '"' {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("%s:%d: unterminated want pattern %q", file, line, s)
+			}
+			q, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, s[:end+1], err)
+			}
+			out = append(out, q)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern %q", file, line, s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
 			t.Fatalf("%s:%d: malformed want clause at %q", file, line, s)
 		}
-		end := 1
-		for end < len(s) {
-			if s[end] == '\\' {
-				end += 2
-				continue
-			}
-			if s[end] == '"' {
-				break
-			}
-			end++
-		}
-		if end >= len(s) {
-			t.Fatalf("%s:%d: unterminated want pattern %q", file, line, s)
-		}
-		q, err := strconv.Unquote(s[:end+1])
-		if err != nil {
-			t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, s[:end+1], err)
-		}
-		out = append(out, q)
-		s = strings.TrimSpace(s[end+1:])
 	}
 	if len(out) == 0 {
 		t.Fatalf("%s:%d: empty want clause", file, line)

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cheap interprocedural call graph. Interprocedural analyses here do not
+// need a sound whole-program graph (no SSA, no pointer analysis); they
+// need the statically obvious edges — calls whose callee is a named
+// function or method resolved by the type checker. Calls through
+// function values, interface methods, or deferred closures have no edge:
+// analyzers built on this (determinism) document that approximation and
+// the simulator's conventions keep the interesting paths — the
+// instruction-execution core, the serializers — free of such indirection.
+
+// FuncDecl pairs a function's type-checker object with its syntax.
+type FuncDecl struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+}
+
+// PackageFuncs returns every function and method declared in pkg with a
+// body, in file order.
+func PackageFuncs(pkg *Package) []FuncDecl {
+	var out []FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, FuncDecl{Obj: obj, Decl: fd})
+		}
+	}
+	return out
+}
+
+// Callee resolves a call expression to the named function or method it
+// statically invokes, or nil for calls the type checker cannot pin down
+// (function values, interface dispatch) and for conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// Interface method calls resolve to *types.Func too; reject them —
+		// the concrete body is unknown, so there is no edge to follow.
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv().Underlying()) {
+				return nil
+			}
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Callees returns the distinct statically resolved callees under root,
+// in source order.
+func Callees(info *types.Info, root ast.Node) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := Callee(info, call); fn != nil && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}

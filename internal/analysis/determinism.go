@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Determinism proves, at build time, that the measurement core is a pure
+// function of its inputs. PR 3's deterministic-resume guarantee (a
+// resumed run is bit-identical to an uninterrupted one) was nearly
+// broken by an invisible nondeterminism source — gob's process-global
+// type registry made histogram bytes depend on process history — and
+// that bug class is exactly what runtime tests are worst at: the
+// nondeterminism only shows under the right process history. So the
+// property is proved statically instead, every `make check`.
+//
+// Roots — the functions that must be deterministic:
+//
+//   - (*Machine).StepInstruction / Run / RunCtx: the simulation loop;
+//   - (*Histogram).Save and LoadHistogram: the measurement data product
+//     (byte-identical files are the resume contract);
+//   - every ExportState/ImportState method: the checkpoint image.
+//
+// From each root the analyzer follows the static call graph (see
+// callgraph.go) through the whole load and reports any reachable:
+//
+//   - wall-clock read (time.Now/Since/Until);
+//   - unseeded math/rand use (package-level functions draw from the
+//     process-global source; *rand.Rand methods on a locally seeded
+//     source are fine);
+//   - goroutine/process identity read (os.Getpid, runtime.NumGoroutine,
+//     runtime.NumCPU, runtime.GOMAXPROCS, os.Hostname, os.Environ,
+//     os.Getenv);
+//   - a range over a map: iteration order is randomized per run — the
+//     moral twin of the gob registry bug. A map *lookup* is fine; only
+//     iteration order leaks scheduling entropy into values.
+//
+// Propagation is fact-based: analyzing each package bottom-up in
+// dependency order, every function with a violation (direct, or via a
+// call to a function already known impure) exports a nondetFact naming
+// the root cause; packages that import it see the fact and extend the
+// chain. Calls through function values and interface methods have no
+// edge — attachments (probes, injection samplers, OnInstruction hooks)
+// are covered by probesafe's capture rules instead.
+//
+// Escape hatch: a justified `//vaxlint:allow determinism -- reason` on
+// the offending line (or the line above) excuses that one site; the
+// justification string is mandatory (see allow.go).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "prove the simulation core, serializers and checkpoint paths deterministic",
+	Run:  runDeterminism,
+}
+
+// nondetFact marks a function from which nondeterminism is reachable.
+// Why is the human-readable causal chain, ending at the original site's
+// file:line (rendered at collection time, so the position is always
+// printed with the FileSet of the package that owns it).
+type nondetFact struct {
+	Why string
+}
+
+func (*nondetFact) AFact() {}
+
+// nondetCalls maps a denylisted stdlib function to what is wrong with
+// calling it from the measurement core.
+var nondetCalls = map[string]string{
+	"time.Now":           "reads the wall clock",
+	"time.Since":         "reads the wall clock",
+	"time.Until":         "reads the wall clock",
+	"os.Getpid":          "reads process identity",
+	"os.Getppid":         "reads process identity",
+	"os.Hostname":        "reads host identity",
+	"os.Environ":         "reads the process environment",
+	"os.Getenv":          "reads the process environment",
+	"os.LookupEnv":       "reads the process environment",
+	"runtime.NumGoroutine": "reads scheduler state",
+	"runtime.NumCPU":       "reads host parallelism",
+	"runtime.GOMAXPROCS":   "reads scheduler state",
+}
+
+// randPkgs are the packages whose package-level functions draw from a
+// process-global (and in v2, always OS-seeded) source.
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+func runDeterminism(pass *Pass) error {
+	funcs := PackageFuncs(pass.Pkg)
+
+	// Phase 1: direct violations per function, honoring allow notes at
+	// the violation site (an excused site never enters a fact, so it is
+	// invisible to every caller).
+	direct := make(map[*types.Func]string, len(funcs))
+	for _, fd := range funcs {
+		if why := directViolation(pass, fd.Decl.Body); why != "" {
+			direct[fd.Obj] = why
+		}
+	}
+
+	// Phase 2: intra-package fixed point over the call graph, seeded
+	// with direct violations and imported facts from dependencies.
+	// Dependency packages were analyzed first (the engine runs passes in
+	// topological order), so a cross-package callee's fact is already in
+	// the store.
+	why := make(map[*types.Func]string, len(funcs))
+	for obj, w := range direct {
+		why[obj] = w
+	}
+	calls := make(map[*types.Func][]*types.Func, len(funcs))
+	for _, fd := range funcs {
+		calls[fd.Obj] = Callees(pass.Pkg.Info, fd.Decl.Body)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range funcs {
+			if _, done := why[fd.Obj]; done {
+				continue
+			}
+			for _, callee := range calls[fd.Obj] {
+				w, impure := why[callee]
+				if !impure {
+					var f nondetFact
+					if pass.ImportObjectFact(callee, &f) {
+						w, impure = f.Why, true
+					}
+				}
+				if impure {
+					why[fd.Obj] = fmt.Sprintf("calls %s, which %s", funcString(callee), w)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for obj, w := range why {
+		pass.ExportObjectFact(obj, &nondetFact{Why: w})
+	}
+
+	// Phase 3: report impure roots declared in this package.
+	for _, fd := range funcs {
+		if !determinismRoot(fd.Obj) {
+			continue
+		}
+		if w, impure := why[fd.Obj]; impure {
+			pass.Reportf(fd.Decl.Name.Pos(),
+				"%s must be deterministic (measurement core) but %s", funcString(fd.Obj), w)
+		}
+	}
+	return nil
+}
+
+// directViolation scans one function body and returns what is wrong at
+// the first unexcused violation ("" for a clean body).
+func directViolation(pass *Pass, body ast.Node) string {
+	var why string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := pass.Pkg.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !pass.Allowed(n.Pos()) {
+				why = fmt.Sprintf("ranges over a map (iteration order is randomized per run) at %s",
+					pass.Fset.Position(n.Pos()))
+			}
+		case *ast.CallExpr:
+			fn := Callee(pass.Pkg.Info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods: only package-level stdlib funcs are denylisted
+			}
+			path := fn.Pkg().Path()
+			if randPkgs[path] {
+				if !pass.Allowed(n.Pos()) {
+					why = fmt.Sprintf("calls %s.%s (process-global random source; construct rand.New(rand.NewSource(seed)) locally) at %s",
+						path, fn.Name(), pass.Fset.Position(n.Pos()))
+				}
+				return true
+			}
+			if what, bad := nondetCalls[path+"."+fn.Name()]; bad && !pass.Allowed(n.Pos()) {
+				why = fmt.Sprintf("calls %s.%s (%s) at %s",
+					path, fn.Name(), what, pass.Fset.Position(n.Pos()))
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// determinismRoot reports whether fn is one of the functions whose
+// determinism the resume contract depends on.
+func determinismRoot(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Name() == "LoadHistogram"
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil {
+		return false
+	}
+	if fn.Name() == "ExportState" || fn.Name() == "ImportState" {
+		return true
+	}
+	switch recv.Obj().Name() {
+	case "Machine":
+		return fn.Name() == "StepInstruction" || fn.Name() == "Run" || fn.Name() == "RunCtx"
+	case "Histogram":
+		return fn.Name() == "Save"
+	}
+	return false
+}
+
+// funcString renders a function as pkg.Name or (*pkg.Recv).Name.
+func funcString(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", types.TypeString(sig.Recv().Type(), nil), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

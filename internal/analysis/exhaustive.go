@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive proves that switches over the hardware-event enums cover
+// every declared value. The fault plane (fault.Point), the machine-check
+// codes (cpu.MCCause) and the run/interrupt classifications (cpu.
+// HaltReason, the vmos service codes) are closed sets wired through the
+// whole delivery path: a new fault point added to internal/fault without
+// a matching arm in the CPU's syndrome conversion or the kernel's policy
+// switch silently falls through today. The analyzer makes the omission a
+// build failure at the switch.
+//
+// A type is an enum here when it is a named integer type declared in one
+// of the enum-bearing packages (fault, cpu, vmos — matched by package
+// name so fixtures can model them) with at least two declared constants.
+// A switch over such a type must either carry a default arm or name
+// every declared constant. Bound markers — the NumPoints/NumMCCauses
+// terminator convention — are not required (any constant whose name
+// starts with "Num" or "num" is treated as the open end of the iota
+// block, not a value).
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over fault/machine-check/interrupt enums cover every declared value",
+	Run:  runExhaustive,
+}
+
+// enumPackages are the package names whose named integer types are
+// treated as closed enums.
+var enumPackages = map[string]bool{"fault": true, "cpu": true, "vmos": true}
+
+func runExhaustive(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.Pkg.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !enumPackages[obj.Pkg().Name()] {
+		return
+	}
+	if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	members := enumMembers(obj.Pkg(), named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := make(map[string]bool) // constant value (exact string) -> seen
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default arm: the switch is closed by construction
+		}
+		for _, e := range cc.List {
+			if ctv, ok := pass.Pkg.Info.Types[e]; ok && ctv.Value != nil {
+				covered[ctv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over %s.%s is not exhaustive: missing %s (add the arms or a default)",
+			obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumMember is one declared constant of an enum type.
+type enumMember struct {
+	name string
+	val  string // constant.Value.ExactString(), so aliases compare equal
+}
+
+// enumMembers lists the package-level constants of exactly the named
+// type, bound markers (Num*/num*) excluded, in declaration-name order.
+func enumMembers(pkg *types.Package, named *types.Named) []enumMember {
+	var out []enumMember
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") {
+			continue
+		}
+		out = append(out, enumMember{name: name, val: c.Val().ExactString()})
+	}
+	// Deduplicate aliases: one missing value should be reported once,
+	// under its first (alphabetical) name.
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	seen := make(map[string]bool)
+	var uniq []enumMember
+	for _, m := range out {
+		if !seen[m.val] {
+			seen[m.val] = true
+			uniq = append(uniq, m)
+		}
+	}
+	return uniq
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// Fact layer. Mirroring golang.org/x/tools/go/analysis, an analyzer may
+// attach typed facts to types.Objects while analyzing the package that
+// declares them, and read those facts back while analyzing any package
+// that imports it. The engine runs package-level analyzers over the load
+// in dependency order (the loader's topological order), so by the time a
+// pass sees a cross-package reference the fact for the referenced object
+// has already been computed. This is what makes cheap interprocedural
+// analyses (the determinism analyzer's purity propagation) possible
+// without whole-program fixed points: facts summarize a dependency once,
+// and downstream packages consume the summary.
+//
+// Facts are keyed by (analyzer, object); an analyzer can neither see nor
+// clobber another analyzer's facts.
+
+// Fact is a typed datum attached to a types.Object by an analyzer. The
+// marker method exists only to catch accidental exports of untyped
+// values; implementations must be pointer types so ImportObjectFact can
+// fill the caller's copy.
+type Fact interface {
+	AFact()
+}
+
+// factKey identifies one fact: facts are per-analyzer, per-object.
+type factKey struct {
+	obj types.Object
+}
+
+// factStore is one analyzer's fact table, shared by every pass of that
+// analyzer across the load.
+type factStore map[factKey]Fact
+
+// ExportObjectFact attaches a fact to obj for later passes of the same
+// analyzer. The object should belong to the package under analysis —
+// exporting facts about another package's objects is allowed (the store
+// is load-wide) but facts flow reliably only in dependency order.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil {
+		panic("ExportObjectFact: nil object")
+	}
+	if f == nil || reflect.ValueOf(f).Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("ExportObjectFact: fact %T must be a pointer", f))
+	}
+	if p.facts == nil {
+		panic(fmt.Sprintf("analyzer %s has no fact store (module-level analyzers cannot export facts)", p.Analyzer.Name))
+	}
+	p.facts[factKey{obj}] = f
+}
+
+// ImportObjectFact copies the fact previously exported for obj into ptr
+// (which must be a pointer to the same concrete fact type) and reports
+// whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	f, ok := p.facts[factKey{obj}]
+	if !ok {
+		return false
+	}
+	got, want := reflect.TypeOf(f), reflect.TypeOf(ptr)
+	if got != want {
+		panic(fmt.Sprintf("ImportObjectFact: fact for %s is %s, caller asked for %s", obj.Name(), got, want))
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}

@@ -157,10 +157,28 @@ func (c *chainImporter) Import(path string) (*types.Package, error) {
 }
 
 // LoadTestdataPackage loads the package rooted at srcRoot/pkgPath for the
-// analysistest harness. Imports are resolved first against sibling
-// directories under srcRoot (mirroring x/tools analysistest's GOPATH
-// layout), then against GOROOT source.
+// analysistest harness, returning just the named package.
 func LoadTestdataPackage(srcRoot, pkgPath string) (*Package, error) {
+	pkgs, err := LoadTestdataPackages(srcRoot, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.Path == pkgPath {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("analysistest: package %s not found after load", pkgPath)
+}
+
+// LoadTestdataPackages loads the package rooted at srcRoot/pkgPath and
+// every local package it (transitively) imports, returning all of them
+// in dependency order — the same order the engine runs passes in, so
+// fact-passing analyzers behave exactly as they do on the real module.
+// Imports are resolved first against sibling directories under srcRoot
+// (mirroring x/tools analysistest's GOPATH layout), then against GOROOT
+// source.
+func LoadTestdataPackages(srcRoot, pkgPath string) ([]*Package, error) {
 	var metas []*pkgMeta
 	seen := make(map[string]bool)
 	var collect func(path string) error
@@ -204,14 +222,5 @@ func LoadTestdataPackage(srcRoot, pkgPath string) (*Package, error) {
 	if err := collect(pkgPath); err != nil {
 		return nil, err
 	}
-	pkgs, err := load(metas)
-	if err != nil {
-		return nil, err
-	}
-	for _, p := range pkgs {
-		if p.Path == pkgPath {
-			return p, nil
-		}
-	}
-	return nil, fmt.Errorf("analysistest: package %s not found after load", pkgPath)
+	return load(metas)
 }

@@ -1,6 +1,8 @@
 package analysis_test
 
 import (
+	"regexp"
+	"strings"
 	"testing"
 
 	"vax780/internal/analysis"
@@ -21,4 +23,111 @@ func TestPaperConst(t *testing.T) {
 
 func TestProbeSafe(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.ProbeSafe, "probesafe")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "determinism")
+}
+
+func TestStateComplete(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.StateComplete, "statecomplete")
+}
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.TypedErr, "typederr")
+}
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Exhaustive, "exhaustive")
+}
+
+// trailFact carries the provenance trail of a function for the synthetic
+// fact-propagation analyzer below.
+type trailFact struct{ Trail string }
+
+func (*trailFact) AFact() {}
+
+// TestFactPropagation proves the engine's fact plumbing end to end: a
+// synthetic analyzer marks facts/a.Source, and the mark must cross two
+// import hops (a → b → c, analyzed in dependency order) with the trail
+// growing at each step. This is the mechanism the determinism analyzer's
+// purity propagation rides on.
+func TestFactPropagation(t *testing.T) {
+	propagate := &analysis.Analyzer{
+		Name: "propagate",
+		Doc:  "test-only: chains a trail fact through the static call graph",
+		Run: func(pass *analysis.Pass) error {
+			pkgName := pass.Pkg.Types.Name()
+			for _, fd := range analysis.PackageFuncs(pass.Pkg) {
+				if strings.HasPrefix(fd.Obj.Name(), "Source") {
+					pass.ExportObjectFact(fd.Obj, &trailFact{Trail: pkgName})
+					continue
+				}
+				for _, callee := range analysis.Callees(pass.Pkg.Info, fd.Decl.Body) {
+					var f trailFact
+					if !pass.ImportObjectFact(callee, &f) {
+						continue
+					}
+					trail := f.Trail + "." + pkgName
+					pass.ExportObjectFact(fd.Obj, &trailFact{Trail: trail})
+					if callee.Pkg() != pass.Pkg.Types {
+						pass.Reportf(fd.Decl.Name.Pos(), "fact trail %s", trail)
+					}
+					break
+				}
+			}
+			return nil
+		},
+	}
+	analysistest.Run(t, "testdata", propagate, "facts/c")
+}
+
+// TestAllowValidation checks that //vaxlint:allow notes missing a
+// justification or naming an unknown analyzer are themselves findings and
+// suppress nothing. Asserted directly rather than via want comments: a
+// want clause cannot share a line with the allow comment under test (the
+// line comment swallows it).
+func TestAllowValidation(t *testing.T) {
+	pkgs, err := analysis.LoadTestdataPackages("testdata/src", "allowbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{analysis.Determinism}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []struct {
+		analyzer string
+		rx       string
+	}{
+		{"allow", `lacks a justification`},
+		{"allow", `unknown analyzer "nosuchanalyzer"`},
+		// Neither note is valid, so both map ranges still taint their roots.
+		{"determinism", `Run must be deterministic .*ranges over a map`},
+		{"determinism", `RunCtx must be deterministic .*ranges over a map`},
+	}
+	for _, w := range wants {
+		rx := regexp.MustCompile(w.rx)
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && rx.MatchString(d.Message) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing [%s] diagnostic matching %q in:\n%s", w.analyzer, w.rx, diagDump(diags))
+		}
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("got %d diagnostics, want %d:\n%s", len(diags), len(wants), diagDump(diags))
+	}
+}
+
+func diagDump(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
 }

@@ -1,0 +1,28 @@
+// Package allowbad exercises the allow-note validation: annotations
+// without a justification (or naming unknown analyzers) are findings in
+// their own right and never suppress anything. Checked by
+// TestAllowValidation, which asserts the diagnostics directly (a want
+// comment cannot share a line with the allow comment under test).
+package allowbad
+
+type Machine struct {
+	counts map[string]int
+}
+
+func (m *Machine) Run() int {
+	n := 0
+	//vaxlint:allow determinism
+	for k := range m.counts {
+		n += len(k)
+	}
+	return n
+}
+
+func (m *Machine) RunCtx() int {
+	n := 0
+	//vaxlint:allow nosuchanalyzer -- the name is a typo, so this excuses nothing
+	for k := range m.counts {
+		n += len(k)
+	}
+	return n
+}

@@ -1,0 +1,40 @@
+package determinism
+
+import (
+	"math/rand"
+
+	"determinism/clock"
+)
+
+type Machine struct {
+	counts map[string]int
+	seen   uint64
+}
+
+// StepInstruction reaches the wall clock two calls deep in another
+// package; the fact layer must carry the taint across the import.
+func (m *Machine) StepInstruction() { // want `StepInstruction must be deterministic .*calls clock\.Stamp, which calls time\.Now`
+	m.seen = uint64(stamped())
+}
+
+func stamped() int64 { return clock.Stamp() }
+
+// Run draws from the process-global rand source.
+func (m *Machine) Run() int { // want `Run must be deterministic .*math/rand\.Intn \(process-global random source`
+	return rand.Intn(4)
+}
+
+// RunCtx ranges over a map — the iteration-order bug class.
+func (m *Machine) RunCtx() int { // want `RunCtx must be deterministic .*ranges over a map`
+	n := 0
+	for k := range m.counts {
+		n += len(k)
+	}
+	return n
+}
+
+// free is impure but unreachable from any root: no finding.
+func free() int64 { return clock.Stamp() }
+
+// pureUser only touches the pure dependency: no finding.
+func (m *Machine) pureUser() int64 { return clock.Pure() }

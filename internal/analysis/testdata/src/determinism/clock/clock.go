@@ -1,0 +1,12 @@
+// Package clock is a dependency fixture: its impurity must reach the
+// determinism analyzer's roots in the importing package through the fact
+// layer, not through same-package analysis.
+package clock
+
+import "time"
+
+// Stamp reads the wall clock; any root that can reach it is impure.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Pure is deterministic; calling it taints nothing.
+func Pure() int64 { return 42 }

@@ -1,0 +1,36 @@
+package determinism
+
+// Histogram.Save is a serializer root: a map range here is exactly the
+// gob-registry bug class (value-identical, byte-different output).
+type Histogram struct {
+	buckets map[int]uint64
+	out     []uint64
+}
+
+func (h *Histogram) Save() { // want `Save must be deterministic .*ranges over a map`
+	for _, v := range h.buckets {
+		h.out = append(h.out, v)
+	}
+}
+
+// Board models the justified escape hatch: a map-to-map copy cannot leak
+// iteration order, so the allow note (with its mandatory justification)
+// suppresses the finding.
+type Board struct {
+	cpuTime map[uint32]uint64
+}
+
+func (b *Board) ExportState() map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(b.cpuTime))
+	//vaxlint:allow determinism -- map-to-map copy; iteration order cannot reach the result
+	for k, v := range b.cpuTime {
+		out[k] = v
+	}
+	return out
+}
+
+func (b *Board) ImportState(st map[uint32]uint64) { // want `ImportState must be deterministic .*ranges over a map`
+	for k, v := range st {
+		b.cpuTime[k] = v
+	}
+}

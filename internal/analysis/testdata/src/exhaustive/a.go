@@ -1,0 +1,55 @@
+package exhaustive
+
+import "exhaustive/fault"
+
+// Name drops an arm and has no default: the fall-through is silent.
+func Name(p fault.Point) string {
+	switch p { // want `switch over fault\.Point is not exhaustive: missing TBParity`
+	case fault.MemRDS:
+		return "mem"
+	case fault.CacheParity:
+		return "cache"
+	}
+	return "?"
+}
+
+// NameDefault is closed by its default arm: fine.
+func NameDefault(p fault.Point) string {
+	switch p {
+	case fault.MemRDS:
+		return "mem"
+	default:
+		return "?"
+	}
+}
+
+// NameAll covers every declared value (the Num* marker excluded): fine.
+func NameAll(p fault.Point) string {
+	switch p {
+	case fault.MemRDS:
+		return "mem"
+	case fault.CacheParity:
+		return "cache"
+	case fault.TBParity:
+		return "tb"
+	}
+	return "?"
+}
+
+// Toggle misses both values of the second enum.
+func Toggle(m fault.Mode) bool {
+	switch m { // want `switch over fault\.Mode is not exhaustive: missing ModeOn`
+	case fault.ModeOff:
+		return false
+	}
+	return true
+}
+
+// NotAnEnum: switches over plain integers are out of scope.
+func NotAnEnum(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+// Package fault is an enum-bearing fixture package (matched by name):
+// Point is a closed enum with a Num* bound marker.
+package fault
+
+type Point int
+
+const (
+	MemRDS Point = iota
+	CacheParity
+	TBParity
+	NumPoints // bound marker: never required in a switch
+)
+
+// Mode is a second enum to prove per-type member sets.
+type Mode int
+
+const (
+	ModeOff Mode = iota
+	ModeOn
+)

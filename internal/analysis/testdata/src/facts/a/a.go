@@ -1,0 +1,7 @@
+// Package a is the bottom of the fact-propagation chain: the synthetic
+// analyzer marks Source here, and the mark must survive two import hops.
+package a
+
+func Source() {}
+
+func Unmarked() {}

@@ -1,0 +1,9 @@
+// Package b imports a: the analyzer must see a.Source's fact (exported
+// during a's pass) and extend the trail.
+package b
+
+import "facts/a"
+
+func Relay() { a.Source() } // want `fact trail a\.b`
+
+func Quiet() { a.Unmarked() }

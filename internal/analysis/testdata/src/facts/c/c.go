@@ -1,0 +1,9 @@
+// Package c sits two hops above the source: its diagnostic proves the
+// fact crossed a → b → c in dependency order.
+package c
+
+import "facts/b"
+
+func Use() { b.Relay() } // want `fact trail a\.b\.c`
+
+func Idle() { b.Quiet() }

@@ -1,0 +1,68 @@
+// The fixture package is named checkpoint so the boundary rules apply
+// (the analyzer matches boundary packages by name, exactly so it can be
+// modeled here).
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the declared sentinel of this boundary.
+var ErrCorrupt = errors.New("corrupt checkpoint")
+
+// WriteError is a declared error type of this boundary.
+type WriteError struct{ Path string }
+
+func (e *WriteError) Error() string { return "write " + e.Path }
+
+// Load mints a fresh untyped error at the boundary.
+func Load() error {
+	return errors.New("no snapshot") // want `returns errors\.New\(\.\.\.\) across the checkpoint boundary`
+}
+
+// Save stops the error chain with an unwrapped fmt.Errorf.
+func Save(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad generation %d", n) // want `returns an unwrapped fmt\.Errorf across the checkpoint boundary`
+	}
+	if n == 0 {
+		return fmt.Errorf("save: %w", ErrCorrupt) // wrapped: fine
+	}
+	return &WriteError{Path: "gen"} // declared type: fine
+}
+
+// internalHelper is unexported: its callers are checked instead.
+func internalHelper() error {
+	return errors.New("internal detail")
+}
+
+// Classify compares and asserts the breakable way.
+func Classify(err error) string {
+	if err == ErrCorrupt { // want `sentinel ErrCorrupt compared with ==: wrapped errors slip through; use errors\.Is`
+		return "corrupt"
+	}
+	if err != ErrCorrupt { // want `sentinel ErrCorrupt compared with !=`
+		return "other"
+	}
+	if _, ok := err.(*WriteError); ok { // want `type assertion on an error value.*use errors\.As`
+		return "write"
+	}
+	return ""
+}
+
+// ClassifyRight routes the robust way: no findings.
+func ClassifyRight(err error) string {
+	if err == nil { // nil checks are fine
+		return "ok"
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return "corrupt"
+	}
+	var we *WriteError
+	if errors.As(err, &we) {
+		return "write"
+	}
+	_ = internalHelper()
+	return ""
+}

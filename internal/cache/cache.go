@@ -83,15 +83,15 @@ type Tracer interface {
 
 // Cache is a set-associative timing cache indexed by physical address.
 type Cache struct {
-	cfg      Config
+	cfg      Config //vaxlint:allow statecomplete -- travels as part of checkpoint Meta.Machine
 	sets     [][]line
-	setShift uint
-	setMask  uint32
+	setShift uint   //vaxlint:allow statecomplete -- derived from cfg by New
+	setMask  uint32 //vaxlint:allow statecomplete -- derived from cfg by New
 	stamp    uint64
 	stats    Stats
-	tracer   Tracer
+	tracer   Tracer //vaxlint:allow statecomplete -- attachment; re-attached after resume
 
-	inject    func() bool // parity fault sampler (nil = never)
+	inject    func() bool //vaxlint:allow statecomplete -- attachment derived from the fault plane (parity sampler, nil = never)
 	faultAddr uint32
 	hasFault  bool
 }

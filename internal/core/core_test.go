@@ -447,7 +447,9 @@ func TestPropertyReductionConservation(t *testing.T) {
 		want := float64(r.Cycles)
 		return math.Abs(got-want) < 1e-6*want+1e-3
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	// Seed the quick.Config Rand (nil means clock-seeded) so failures
+	// reproduce deterministically.
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(0x783))}); err != nil {
 		t.Error(err)
 	}
 }

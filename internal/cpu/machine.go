@@ -14,6 +14,7 @@ package cpu
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"vax780/internal/cache"
@@ -85,7 +86,7 @@ type IRQ struct {
 
 // Machine is a complete VAX-11/780.
 type Machine struct {
-	cfg Config
+	cfg Config //vaxlint:allow statecomplete -- travels as checkpoint Meta.Machine; the resume path rebuilds with cpu.New
 
 	Mem   *mem.Memory
 	SBI   *mem.SBI
@@ -101,10 +102,10 @@ type Machine struct {
 
 	// Microarchitectural state.
 	ib         ibox
-	ops        [6]operand
-	nops       int
-	instr      *vax.OpInfo
-	instPC     uint32
+	ops        [6]operand  //vaxlint:allow statecomplete -- per-instruction decode scratch, rewritten before any use
+	nops       int         //vaxlint:allow statecomplete -- per-instruction decode scratch
+	instr      *vax.OpInfo //vaxlint:allow statecomplete -- per-instruction decode scratch
+	instPC     uint32      //vaxlint:allow statecomplete -- per-instruction decode scratch
 	cycle      uint64
 	instret    uint64
 	upc        uint16 // control-store location of the last cycle
@@ -112,43 +113,46 @@ type Machine struct {
 	haltReason HaltReason
 	runErr     error
 
-	probe Probe
-	gate  bool // monitor count enable (vmos drops it for the null process)
+	probe Probe //vaxlint:allow statecomplete -- attachment; the resume path re-attaches the monitor
+	gate  bool  // monitor count enable (vmos drops it for the null process)
 
 	irqs    []IRQ // time-ordered external interrupt requests
 	nextIRQ int
 
 	lastPCChange bool // previous instruction changed the PC (DecodeOverlap ablation)
-	inExc        bool // exception delivery in progress (nesting guard)
-	instAborted  bool // current instruction faulted; skip its remaining phases
+	inExc        bool //vaxlint:allow statecomplete -- false at every instruction boundary (snapshots are taken there); ImportState re-clears it
+	instAborted  bool //vaxlint:allow statecomplete -- false at every instruction boundary; ImportState re-clears it
 	patchCtr     int  // instructions until the next patched microword
 
 	// Progress watchdog (see SetWatchdog): a machine that burns wdLimit
 	// cycles without retiring an instruction is stopped with a structured
 	// error instead of spinning forever.
-	wdLimit      uint64
+	wdLimit      uint64 //vaxlint:allow statecomplete -- supervisor configuration, re-armed by the supervisor on resume
 	wdLastRetire uint64 // cycle at which the last instruction retired
 
 	// Machine-check state (see mcheck.go).
-	plane     *fault.Plane
-	csSample  func() bool // control-store parity sampler (nil = never)
+	plane     *fault.Plane //vaxlint:allow statecomplete -- attachment; rebuilt from Meta.Fault, stream positions travel as FaultState
+	csSample  func() bool  //vaxlint:allow statecomplete -- attachment derived from the plane (control-store parity sampler, nil = never)
 	pendMC    pendingMC
 	mcPending bool
 	mcActive  bool // a machine check is being handled (cleared by REI)
 
 	// Hardware event counters (not monitor-visible; used for cross-checks).
-	unaligned     uint64
-	sirrRequests  uint64
-	irqDelivered  uint64
-	exceptions    uint64
-	ctxSwitches   uint64
-	machineChecks uint64
-	mcLost        uint64 // syndromes absorbed while a check was outstanding
-	mcByCause     [NumMCCauses]uint64
+	// They travel as State.HW: ExportState captures them through the HW()
+	// accessor, an indirection the statecomplete analyzer cannot follow,
+	// so each carries the exemption naming that path.
+	unaligned     uint64 //vaxlint:allow statecomplete -- exported via HW() into State.HW.Unaligned
+	sirrRequests  uint64 //vaxlint:allow statecomplete -- exported via HW() into State.HW.SIRRRequests
+	irqDelivered  uint64 //vaxlint:allow statecomplete -- exported via HW() into State.HW.Interrupts
+	exceptions    uint64 //vaxlint:allow statecomplete -- exported via HW() into State.HW.Exceptions
+	ctxSwitches   uint64 //vaxlint:allow statecomplete -- exported via HW() into State.HW.CtxSwitches
+	machineChecks uint64 //vaxlint:allow statecomplete -- exported via HW() into State.HW.MachineChecks
+	mcLost        uint64 //vaxlint:allow statecomplete -- exported via HW() into State.HW.MachineChecksLost
+	mcByCause     [NumMCCauses]uint64 //vaxlint:allow statecomplete -- exported via HW() into State.HW.MachineChecksByCause
 
 	// OnInstruction, if set, runs between instructions (used by the OS
 	// layer for scheduling decisions and by the RTE for terminal events).
-	OnInstruction func(m *Machine)
+	OnInstruction func(m *Machine) //vaxlint:allow statecomplete -- attachment; vmos re-installs its scheduler hook on boot
 }
 
 // New builds a machine.
@@ -306,7 +310,8 @@ func (m *Machine) watchdogExpire() {
 	}
 	dump := m.StateDump()
 	m.fail("watchdog: no instruction retired in %d cycles (stuck at µpc %#04x)", m.wdLimit, m.upc)
-	if me, ok := m.runErr.(*MachineError); ok {
+	var me *MachineError
+	if errors.As(m.runErr, &me) {
 		me.Dump = dump
 	}
 }

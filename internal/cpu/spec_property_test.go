@@ -104,7 +104,10 @@ func TestPropertySpecifierEffectiveAddress(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+	// A nil quick.Config Rand is seeded from the clock; seed it so a
+	// failing input reproduces on re-run (vaxlint's determinism contract
+	// applied to the tests themselves).
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(0x780))}); err != nil {
 		t.Error(err)
 	}
 }
@@ -151,7 +154,7 @@ func TestPropertyALUMatchesGo(t *testing.T) {
 		})
 		return m.R[2] == want
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(0x781))}); err != nil {
 		t.Error(err)
 	}
 }
@@ -191,7 +194,7 @@ func TestPropertyConditionCodesMatchComparison(t *testing.T) {
 			(m.R[4] == 1) == unsLess &&
 			(m.R[5] == 1) == eq
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(0x782))}); err != nil {
 		t.Error(err)
 	}
 }

@@ -46,7 +46,7 @@ type Fault struct {
 type Memory struct {
 	data []byte
 
-	inject   func() bool // RDS fault sampler (nil = never)
+	inject   func() bool //vaxlint:allow statecomplete -- attachment derived from the fault plane (RDS sampler, nil = never)
 	fault    Fault
 	hasFault bool
 }

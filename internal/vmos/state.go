@@ -43,6 +43,7 @@ func (s *System) ExportState() (State, error) {
 		LastPCB:    s.lastPCB,
 		CPUTime:    make(map[uint32]uint64, len(s.cpuTime)),
 	}
+	//vaxlint:allow determinism -- map-to-map copy: the result is a map again, so iteration order cannot reach the snapshot bytes or any simulated state
 	for pcb, t := range s.cpuTime {
 		st.CPUTime[pcb] = t
 	}
@@ -64,6 +65,7 @@ func (s *System) ImportState(st State) error {
 	s.lastCycle = st.LastCycle
 	s.lastPCB = st.LastPCB
 	s.cpuTime = make(map[uint32]uint64, len(st.CPUTime))
+	//vaxlint:allow determinism -- map-to-map copy: the restored accounting table is order-independent; no simulated state observes the iteration
 	for pcb, t := range st.CPUTime {
 		s.cpuTime[pcb] = t
 	}

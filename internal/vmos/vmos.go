@@ -72,13 +72,13 @@ type Process struct {
 
 // System is a booted machine plus its kernel.
 type System struct {
-	cfg  Config
-	m    *cpu.Machine
-	kern *asm.Image
+	cfg  Config       //vaxlint:allow statecomplete -- the resume path rebuilds the system from the same Config
+	m    *cpu.Machine //vaxlint:allow statecomplete -- the machine travels separately as Snapshot.CPU
+	kern *asm.Image   //vaxlint:allow statecomplete -- kernel image is laid down deterministically by Boot; its bytes travel in memory
 
-	procs     []*Process
-	nullPCB   uint32
-	nextFrame uint32 // physical frame allocator
+	procs     []*Process //vaxlint:allow statecomplete -- process set is regenerated deterministically from the profile
+	nullPCB   uint32     //vaxlint:allow statecomplete -- assigned deterministically by Boot
+	nextFrame uint32     //vaxlint:allow statecomplete -- frame allocator is deterministic given the same boot sequence
 
 	nextClock  uint64
 	termEvents []uint64 // cycle numbers of terminal interrupts (sorted)

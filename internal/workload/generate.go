@@ -16,12 +16,18 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"vax780/internal/asm"
 	"vax780/internal/vax"
 )
+
+// ErrBadMix reports a workload configuration whose block mix selects
+// nothing. It crosses the workload boundary typed so cmd/* callers can
+// distinguish a configuration mistake from a run failure with errors.Is.
+var ErrBadMix = errors.New("unusable workload mix")
 
 // Mix weights the body-block types. Weights need not sum to 1.
 type Mix struct {
@@ -112,7 +118,7 @@ func Generate(cfg GenConfig) (*asm.Image, error) {
 		total += x
 	}
 	if total <= 0 {
-		return nil, fmt.Errorf("workload: empty mix")
+		return nil, fmt.Errorf("workload: %w: every mix weight is zero", ErrBadMix)
 	}
 	emitters := []func(){
 		g.emitALU, g.emitMemScan, g.emitBranchy, g.emitCall, g.emitSubr,

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"vax780/internal/cache"
@@ -10,6 +11,11 @@ import (
 	"vax780/internal/tb"
 	"vax780/internal/vmos"
 )
+
+// ErrUnexpectedHalt reports a workload that executed a kernel HALT before
+// its cycle budget ran out — a kernel fatal, not a measurement. Typed so
+// callers across the workload boundary can route on it with errors.Is.
+var ErrUnexpectedHalt = errors.New("workload halted unexpectedly")
 
 // Result is one measurement session: the raw histogram plus the hardware
 // counters the paper's companion studies supply (§4.1, §4.2).
@@ -108,7 +114,7 @@ func RunInjected(p Profile, cycles uint64, mcfg cpu.Config, plane *fault.Plane) 
 		return nil, fmt.Errorf("workload %s: run: %w", p.Name, res.Err)
 	}
 	if res.Halted {
-		return nil, fmt.Errorf("workload %s: halted unexpectedly (kernel fatal)", p.Name)
+		return nil, fmt.Errorf("workload %s: %w (kernel fatal)", p.Name, ErrUnexpectedHalt)
 	}
 	return s.result(), nil
 }

@@ -263,7 +263,7 @@ func (s *session) supervise(ctx context.Context, fcfg *fault.Config, sup Supervi
 			return nil, fmt.Errorf("workload %s: run: %w", s.p.Name, res.Err)
 		}
 		if res.Halted {
-			return nil, fmt.Errorf("workload %s: halted unexpectedly (kernel fatal)", s.p.Name)
+			return nil, fmt.Errorf("workload %s: %w (kernel fatal)", s.p.Name, ErrUnexpectedHalt)
 		}
 		if err := writeCkpt(); err != nil {
 			return nil, err
