@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the full pre-merge gate: build,
-# go vet, the repo's own vaxlint static analyzers (cross-table invariant
-# and determinism-contract proofs, see DESIGN.md "Static analysis &
-# invariants"), the test suite
+# go vet, the repo's own vaxlint static analyzers (cross-table invariant,
+# determinism-contract, and µflow attribution proofs, see DESIGN.md
+# "Static analysis & invariants"), the test suite
 # under the race detector, the chaos soak (fault injection into a full OS
 # workload, DESIGN.md "Fault model & machine checks"), the crash-
 # consistency proof (kill a checkpointed run mid-write, resume, demand
@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint vaxlint test race soak crash-consistency fuzz-smoke bench
+.PHONY: check build vet lint vaxlint sarif test race soak crash-consistency fuzz-smoke bench
 
 check: build vet vaxlint race soak crash-consistency fuzz-smoke
 
@@ -22,9 +22,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# All eight analyzers, human-readable; vet is its own target above.
+# All eleven analyzers, human-readable; vet is its own target above.
 vaxlint:
 	$(GO) run ./cmd/vaxlint -vet=false ./...
+
+# Same run as a SARIF 2.1.0 log on stdout — for CI code-scanning upload.
+sarif:
+	$(GO) run ./cmd/vaxlint -vet=false -sarif ./...
 
 # Same run, one JSON object per finding on stdout — for editors and CI
 # annotators.

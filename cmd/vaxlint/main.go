@@ -5,7 +5,10 @@
 // measurement core (no wall clock, no global rand, no map iteration
 // reachable from the simulation loop, serializers or checkpoint paths),
 // checkpoint state-completeness, typed boundary errors, and exhaustive
-// enum switches. It is a multichecker-style driver for the analyzers in
+// enum switches — plus the µflow attribution proofs: every microword
+// counted on the channel its class permits (uwflow), no structurally
+// zero histogram bucket (uwdead), and per-row scoping of the exec files
+// (rowscope). It is a multichecker-style driver for the analyzers in
 // internal/analysis and is part of the tier-1 verify (Makefile `check`).
 //
 // Usage:
@@ -14,6 +17,7 @@
 //	go run ./cmd/vaxlint -vet=false ./...       # skip the standard go vet passes
 //	go run ./cmd/vaxlint -run determinism ./... # only the named analyzers
 //	go run ./cmd/vaxlint -json ./...            # machine-readable findings
+//	go run ./cmd/vaxlint -sarif ./...           # SARIF 2.1.0 log (CI code scanning)
 //	go run ./cmd/vaxlint -list                  # show the suite
 //
 // Contract:
@@ -23,7 +27,10 @@
 //   - exit 1: findings were reported (or go vet failed); with -json each
 //     finding is one JSON object per line on stdout, of the form
 //     {"file":...,"line":...,"col":...,"analyzer":...,"message":...},
-//     findings only — vet output stays on stderr;
+//     findings only — vet output stays on stderr; with -sarif stdout is
+//     one SARIF 2.1.0 log built from the same findings (emitted on exit
+//     0 too, with an empty results array, so CI can upload it
+//     unconditionally); -json and -sarif are mutually exclusive;
 //   - exit 2: the load itself failed (bad pattern, unparseable or
 //     untypeable source, unknown -run name): no findings were computed
 //     and the tree's health is unknown.
@@ -55,7 +62,11 @@ func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout")
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		cli.Exitf(2, "vaxlint", "-json and -sarif are mutually exclusive")
+	}
 
 	analyzers := analysis.All()
 	if *list {
@@ -104,19 +115,30 @@ func main() {
 	if err != nil {
 		cli.Exitf(2, "vaxlint", "%v", err)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	for _, d := range diags {
-		if *jsonOut {
-			_ = enc.Encode(jsonDiag{
-				File:     d.Pos.Filename,
-				Line:     d.Pos.Line,
-				Col:      d.Pos.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
-			continue
+	findings := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		findings[i] = jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
 		}
-		fmt.Println(d)
+	}
+	switch {
+	case *sarifOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sarifFrom(analyzers, findings))
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			_ = enc.Encode(f)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		exitCode = 1

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+
+	"vax780/internal/analysis"
+)
+
+// SARIF 2.1.0 output (-sarif): the minimal log shape code-scanning
+// uploaders accept — one run, the suite as the rule table, one result
+// per finding. Results are built from the same jsonDiag findings the
+// -json mode emits, so the two machine-readable modes cannot drift.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifFrom assembles the log: every analyzer that ran becomes a rule
+// (found something or not), every finding a result. An empty findings
+// slice still yields a valid log with "results": [].
+func sarifFrom(analyzers []*analysis.Analyzer, findings []jsonDiag) sarifLog {
+	drv := sarifDriver{Name: "vaxlint", Rules: []sarifRule{}}
+	for _, a := range analyzers {
+		drv.Rules = append(drv.Rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relPath(f.File)},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: drv}, Results: results}},
+	}
+}
+
+// relPath renders a finding path repo-relative with forward slashes (the
+// artifact URI form scanners expect), falling back to the path as given.
+func relPath(p string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, p); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(p)
+}
+
+func hasDotDotPrefix(p string) bool {
+	return len(p) >= 3 && p[:3] == ".."+string(filepath.Separator)
+}

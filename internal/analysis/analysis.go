@@ -167,12 +167,15 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 }
 
 // All is the vaxlint suite in reporting order: the four cross-table
-// analyzers from the original suite, then the four determinism-contract
-// analyzers built on the fact layer.
+// analyzers from the original suite, the four determinism-contract
+// analyzers built on the fact layer, then the three µflow attribution
+// analyzers built on the CFG + dataflow layer (cfg.go, dataflow.go,
+// uwmodel.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		ExecTable, UWRef, PaperConst, ProbeSafe,
 		Determinism, StateComplete, TypedErr, Exhaustive,
+		UWFlow, UWDead, RowScope,
 	}
 }
 

@@ -1,0 +1,450 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Forward dataflow over the CFGs of cfg.go. The lattice value of one
+// local variable is a valueSet — the set of microword handles the
+// variable may hold plus the parameters it may alias — and the
+// environment maps locals to values. Joins are set unions (a
+// may-analysis), transfer is strong update on assignment, and the fixed
+// point terminates because the per-function lattice is finite and every
+// operation is monotone. Expressions that the model cannot interpret
+// (arithmetic, channel receives, map loads, calls with no static callee)
+// evaluate to bottom: a handle laundered through one of them simply stops
+// being tracked, which for every downstream verdict errs toward silence,
+// never toward a false finding — except uwdead, whose reachability proof
+// this makes conservative in the other direction; its fixtures and
+// DESIGN.md §12 spell the trade-off out.
+
+// valueSet is one lattice value: which handles and which enclosing-
+// function parameters a value may originate from.
+type valueSet struct {
+	handles map[int]bool        // indices into uwModel.handles
+	params  map[*types.Var]bool // parameters of the enclosing function
+}
+
+func (v valueSet) empty() bool { return len(v.handles) == 0 && len(v.params) == 0 }
+
+func (v *valueSet) addHandle(i int) {
+	if v.handles == nil {
+		v.handles = make(map[int]bool)
+	}
+	v.handles[i] = true
+}
+
+func (v *valueSet) addParam(p *types.Var) {
+	if v.params == nil {
+		v.params = make(map[*types.Var]bool)
+	}
+	v.params[p] = true
+}
+
+// merge unions src into v, reporting change.
+func (v *valueSet) merge(src valueSet) bool {
+	changed := false
+	for i := range src.handles {
+		if !v.handles[i] {
+			v.addHandle(i)
+			changed = true
+		}
+	}
+	for p := range src.params {
+		if !v.params[p] {
+			v.addParam(p)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sharesOrigin reports whether two values can stem from the same source —
+// a common handle or a common parameter. The read/write pairing check
+// uses it to demand that the stall accounted belongs to the word ticked.
+func (v valueSet) sharesOrigin(o valueSet) bool {
+	for i := range v.handles {
+		if o.handles[i] {
+			return true
+		}
+	}
+	for p := range v.params {
+		if o.params[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// env is the abstract state at one program point.
+type env map[types.Object]valueSet
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		var c valueSet
+		c.merge(v)
+		out[k] = c
+	}
+	return out
+}
+
+// join unions src into e, reporting change.
+func (e env) join(src env) bool {
+	changed := false
+	for k, v := range src {
+		cur := e[k]
+		if cur.merge(v) {
+			e[k] = cur
+			changed = true
+		}
+	}
+	return changed
+}
+
+// uwSite is one call site with its abstract arguments.
+type uwSite struct {
+	call    *ast.CallExpr
+	callee  *types.Func // nil for raw probe calls
+	probeCh uwChannel   // set when callee is nil (interface dispatch on Probe)
+	block   *Block
+	ord     int // site ordinal within the function, in block-statement order
+	args    []valueSet
+}
+
+// funcFlow is the analyzed state of one function: its CFG, the fixed-
+// point env at each block entry, and every call site with abstract
+// argument values.
+type funcFlow struct {
+	pkg      *Package
+	fd       FuncDecl
+	fn       *types.Func
+	cfg      *CFG
+	blockIn  []env
+	sites    []*uwSite
+	paramIdx map[*types.Var]int
+}
+
+// flowFunc builds the CFG of fd, runs the forward fixed point, and
+// extracts the call sites with their abstract arguments.
+func (m *uwModel) flowFunc(pkg *Package, fd FuncDecl) {
+	flow := m.flowBody(pkg, fd.Obj, fd.Obj.Type().(*types.Signature), fd.Decl.Body)
+	flow.fd = fd
+	m.flows[fd.Obj] = flow
+}
+
+// flowLit analyzes one function literal as its own flow. A closure has no
+// static callee, so it never gets a summary a caller could use — but the
+// count sites inside it are real sites (the exec microroutines are
+// registered as literals in init), and uwflow/uwdead must see them.
+// Free variables of the enclosing function evaluate to bottom; package
+// vars and handle-struct fields still resolve through the static bindings.
+func (m *uwModel) flowLit(pkg *Package, lit *ast.FuncLit) {
+	tv, ok := pkg.Info.Types[ast.Expr(lit)]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	m.flowBody(pkg, nil, sig, lit.Body)
+}
+
+// flowBody is the engine shared by flowFunc and flowLit: CFG, forward
+// fixed point, site extraction. fn is nil for literals; the flow is
+// appended to flowLst either way, so site-driven verdicts cover closures.
+func (m *uwModel) flowBody(pkg *Package, fn *types.Func, sig *types.Signature, body *ast.BlockStmt) *funcFlow {
+	flow := &funcFlow{
+		pkg:      pkg,
+		fn:       fn,
+		cfg:      BuildCFG(body),
+		paramIdx: make(map[*types.Var]int),
+	}
+	entry := make(env)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		flow.paramIdx[p] = i
+		var v valueSet
+		v.addParam(p)
+		entry[p] = v
+	}
+
+	n := len(flow.cfg.Blocks)
+	flow.blockIn = make([]env, n)
+	for i := range flow.blockIn {
+		flow.blockIn[i] = make(env)
+	}
+	flow.blockIn[0].join(entry)
+
+	// Worklist fixed point: recompute a block's out-state and propagate to
+	// successors until nothing changes.
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	for i := 0; i < n; i++ {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		blk := flow.cfg.Blocks[bi]
+		out := flow.blockIn[bi].clone()
+		for _, s := range blk.Stmts {
+			m.transfer(flow, out, s)
+		}
+		for _, succ := range blk.Succs {
+			if flow.blockIn[succ.Index].join(out) && !inWork[succ.Index] {
+				work = append(work, succ.Index)
+				inWork[succ.Index] = true
+			}
+		}
+	}
+
+	// Site extraction: replay each block from its fixed-point entry state,
+	// evaluating the arguments of every statically resolvable call (and
+	// raw Probe calls) against the env in force at the statement.
+	ord := 0
+	for _, blk := range flow.cfg.Blocks {
+		cur := flow.blockIn[blk.Index].clone()
+		for _, s := range blk.Stmts {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // closures are separate flows the model does not enter
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				site := &uwSite{call: call, block: blk, ord: ord}
+				if fn := Callee(pkg.Info, call); fn != nil {
+					site.callee = fn
+				} else if ch, ok := probeChannelOf(pkg, call); ok {
+					site.probeCh = ch
+				} else {
+					return true
+				}
+				ord++
+				site.args = make([]valueSet, len(call.Args))
+				for i, a := range call.Args {
+					site.args[i] = m.eval(flow, cur, a)
+				}
+				flow.sites = append(flow.sites, site)
+				return true
+			})
+			m.transfer(flow, cur, s)
+		}
+	}
+
+	m.flowLst = append(m.flowLst, flow)
+	return flow
+}
+
+// transfer applies one statement to the environment: assignments and
+// declarations update locals (strong update — the join at block entry
+// supplies the may-union across paths); everything else leaves the state
+// alone.
+func (m *uwModel) transfer(flow *funcFlow, e env, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// x += … launders the handle; drop to bottom.
+			for _, lhs := range s.Lhs {
+				if obj := localObj(flow.pkg, lhs); obj != nil {
+					e[obj] = valueSet{}
+				}
+			}
+			return
+		}
+		switch {
+		case len(s.Rhs) == len(s.Lhs):
+			for i, lhs := range s.Lhs {
+				v := m.eval(flow, e, s.Rhs[i])
+				if obj := localObj(flow.pkg, lhs); obj != nil {
+					e[obj] = v
+				}
+			}
+		case len(s.Rhs) == 1:
+			// Tuple assignment: only a Lookup-style (value, ok) call keeps
+			// its handle value, on the first variable.
+			v := m.eval(flow, e, s.Rhs[0])
+			for i, lhs := range s.Lhs {
+				obj := localObj(flow.pkg, lhs)
+				if obj == nil {
+					continue
+				}
+				if i == 0 {
+					e[obj] = v
+				} else {
+					e[obj] = valueSet{}
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				obj := flow.pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				var v valueSet
+				if i < len(vs.Values) {
+					v = m.eval(flow, e, vs.Values[i])
+				}
+				e[obj] = v
+			}
+		}
+	case *ast.ExprStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt,
+		*ast.ReturnStmt, *ast.EmptyStmt, *ast.LabeledStmt, *ast.BranchStmt:
+		// No local-state effect the model tracks.
+	}
+}
+
+// localObj resolves an assignment target to a local variable object, or
+// nil for anything else (fields and package vars are bound statically by
+// the model, not tracked per-flow).
+func localObj(pkg *Package, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := pkg.Info.Defs[id]
+	if obj == nil {
+		obj = pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil // package var: statically bound, not flow-tracked
+	}
+	return v
+}
+
+// eval folds an expression to the valueSet it may hold.
+func (m *uwModel) eval(flow *funcFlow, e env, expr ast.Expr) valueSet {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		obj := flow.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = flow.pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return valueSet{}
+		}
+		if v, ok := e[obj]; ok {
+			return v
+		}
+		if p, ok := obj.(*types.Var); ok {
+			if _, isParam := flow.paramIdx[p]; isParam {
+				var v valueSet
+				v.addParam(p)
+				return v
+			}
+		}
+		return m.bindingValue(obj)
+	case *ast.SelectorExpr:
+		return m.bindingValue(flow.pkg.Info.Uses[x.Sel])
+	case *ast.IndexExpr:
+		return m.eval(flow, e, x.X)
+	case *ast.ParenExpr:
+		return m.eval(flow, e, x.X)
+	case *ast.StarExpr:
+		return m.eval(flow, e, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return m.eval(flow, e, x.X)
+		}
+	case *ast.CallExpr:
+		return m.evalCall(flow, e, x)
+	}
+	return valueSet{}
+}
+
+// bindingValue wraps a static binding lookup as a value.
+func (m *uwModel) bindingValue(obj types.Object) valueSet {
+	var v valueSet
+	for _, i := range m.binding(obj) {
+		v.addHandle(i)
+	}
+	return v
+}
+
+// evalCall folds the calls that can produce a handle: Define/def (the
+// handle born at this site), MustLookup/Lookup by literal name, and type
+// conversions, which are transparent.
+func (m *uwModel) evalCall(flow *funcFlow, e env, call *ast.CallExpr) valueSet {
+	if isDefineCall(call) && len(call.Args) > 0 {
+		if i, ok := m.defSite[call.Args[0].Pos()]; ok {
+			var v valueSet
+			v.addHandle(i)
+			return v
+		}
+		return valueSet{}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "MustLookup" || sel.Sel.Name == "Lookup" {
+			return m.evalLookup(flow, sel, call)
+		}
+	}
+	// A type conversion (uint16(x)) is transparent.
+	if len(call.Args) == 1 {
+		if tv, ok := flow.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return m.eval(flow, e, call.Args[0])
+		}
+	}
+	return valueSet{}
+}
+
+// evalLookup resolves store.MustLookup("name") / store.Lookup("name")
+// against the store's namespace. Only literal (or constant) names
+// resolve; a computed name is bottom.
+func (m *uwModel) evalLookup(flow *funcFlow, sel *ast.SelectorExpr, call *ast.CallExpr) valueSet {
+	if len(call.Args) < 1 {
+		return valueSet{}
+	}
+	name := ""
+	switch a := ast.Unparen(call.Args[0]).(type) {
+	case *ast.BasicLit:
+		if a.Kind == token.STRING {
+			if s, err := strconv.Unquote(a.Value); err == nil {
+				name = s
+			}
+		}
+	default:
+		if folded, usesParam := foldName(flow.pkg, call.Args[0], nil); !usesParam && folded != "*" {
+			name = folded
+		}
+	}
+	if name == "" {
+		return valueSet{}
+	}
+	var storeObj types.Object
+	switch base := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		storeObj = flow.pkg.Info.Uses[base]
+	case *ast.SelectorExpr:
+		storeObj = flow.pkg.Info.Uses[base.Sel]
+	}
+	var v valueSet
+	for _, i := range m.storeHandles(storeObj) {
+		h := m.handles[i]
+		if h.Name == name || globsIntersect(h.Name, name) {
+			v.addHandle(i)
+		}
+	}
+	return v
+}

@@ -66,15 +66,15 @@ func (*nondetFact) AFact() {}
 // nondetCalls maps a denylisted stdlib function to what is wrong with
 // calling it from the measurement core.
 var nondetCalls = map[string]string{
-	"time.Now":           "reads the wall clock",
-	"time.Since":         "reads the wall clock",
-	"time.Until":         "reads the wall clock",
-	"os.Getpid":          "reads process identity",
-	"os.Getppid":         "reads process identity",
-	"os.Hostname":        "reads host identity",
-	"os.Environ":         "reads the process environment",
-	"os.Getenv":          "reads the process environment",
-	"os.LookupEnv":       "reads the process environment",
+	"time.Now":             "reads the wall clock",
+	"time.Since":           "reads the wall clock",
+	"time.Until":           "reads the wall clock",
+	"os.Getpid":            "reads process identity",
+	"os.Getppid":           "reads process identity",
+	"os.Hostname":          "reads host identity",
+	"os.Environ":           "reads the process environment",
+	"os.Getenv":            "reads the process environment",
+	"os.LookupEnv":         "reads the process environment",
 	"runtime.NumGoroutine": "reads scheduler state",
 	"runtime.NumCPU":       "reads host parallelism",
 	"runtime.GOMAXPROCS":   "reads scheduler state",

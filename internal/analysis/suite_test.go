@@ -41,6 +41,27 @@ func TestExhaustive(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Exhaustive, "exhaustive")
 }
 
+func TestUWFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.UWFlow, "uwflow")
+}
+
+func TestUWDead(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.UWDead, "uwdead")
+}
+
+func TestRowScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RowScope, "rowscope")
+}
+
+// TestUWClean proves the three µflow analyzers stay silent on a fixture
+// that counts every class on its proper channel, reaches every word, and
+// keeps each exec file inside its row.
+func TestUWClean(t *testing.T) {
+	for _, a := range []*analysis.Analyzer{analysis.UWFlow, analysis.UWDead, analysis.RowScope} {
+		analysistest.Run(t, "testdata", a, "uwclean")
+	}
+}
+
 // trailFact carries the provenance trail of a function for the synthetic
 // fact-propagation analyzer below.
 type trailFact struct{ Trail string }

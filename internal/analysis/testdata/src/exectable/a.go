@@ -47,8 +47,8 @@ func init() {
 	register(HALT, nop)
 	register(NOP, nop)
 	register(MOVL, nop)
-	register(MOVL, nop) // want "opcode MOVL: duplicate execute registration"
-	register(RET, nop)  // want "opcode RET has a registered execute microroutine but no opTable entry"
+	register(MOVL, nop)         // want "opcode MOVL: duplicate execute registration"
+	register(RET, nop)          // want "opcode RET has a registered execute microroutine but no opTable entry"
 	register(Opcode(0xD5), nop) // want "cannot be resolved statically"
 
 	for _, op := range []Opcode{ADDL3, CLRL} {

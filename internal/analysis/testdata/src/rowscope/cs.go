@@ -1,0 +1,20 @@
+// Package rowscope seeds a cross-row reference: a Float-row microword
+// ticked from exec_simple.go. Handles are defined in this neutral file —
+// a definition inside an exec file would itself be a reference.
+package rowscope
+
+import "uwucode"
+
+type Machine struct{ counts map[uint16]uint64 }
+
+func (m *Machine) tick(w uint16) { m.counts[w]++ }
+
+var cs = uwucode.NewStore()
+
+var uw = struct {
+	sAlu uint16
+	fAdd uint16
+}{
+	sAlu: cs.Define("exec.simple.alu", uwucode.RowSimple, uwucode.ClassCompute),
+	fAdd: cs.Define("exec.float.add", uwucode.RowFloat, uwucode.ClassCompute),
+}

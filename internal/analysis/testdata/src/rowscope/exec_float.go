@@ -1,0 +1,10 @@
+package rowscope
+
+func floatOK(m *Machine) { m.tick(uw.fAdd) }
+
+// floatShared deliberately rides a Simple-row word; the allow note turns
+// the cross-row touch into an audited one.
+func floatShared(m *Machine) {
+	//vaxlint:allow rowscope -- fixture: shared machinery crossing rows on purpose
+	m.tick(uw.sAlu)
+}

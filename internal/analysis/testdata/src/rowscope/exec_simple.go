@@ -1,0 +1,7 @@
+package rowscope
+
+func simpleOK(m *Machine) { m.tick(uw.sAlu) }
+
+func simpleBad(m *Machine) {
+	m.tick(uw.fAdd) // want `microword exec\.float\.add \(row RowFloat\) referenced in exec_simple\.go, which handles RowSimple opcodes only`
+}

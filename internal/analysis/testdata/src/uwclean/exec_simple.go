@@ -1,0 +1,3 @@
+package uwclean
+
+func simpleALU(m *Machine) { m.tick(uw.sAlu) }

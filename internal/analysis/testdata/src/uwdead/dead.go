@@ -1,0 +1,39 @@
+// Package uwdead seeds one orphaned microword: defined, bound, never
+// reaching any count site — a structurally-zero histogram bucket. The
+// exempted word shows the //vaxlint:allow escape hatch, and the closure
+// word proves that count sites inside function literals are seen.
+package uwdead
+
+import "uwucode"
+
+type Machine struct{ counts map[uint16]uint64 }
+
+func (m *Machine) tick(w uint16) { m.counts[w]++ }
+
+var cs = uwucode.NewStore()
+
+var uw = struct {
+	live   uint16
+	closed uint16
+	orphan uint16
+	exempt uint16
+}{
+	live:   cs.Define("dead.live", uwucode.RowSimple, uwucode.ClassCompute),
+	closed: cs.Define("dead.closed", uwucode.RowSimple, uwucode.ClassCompute),
+	orphan: cs.Define("dead.orphan", uwucode.RowSimple, uwucode.ClassCompute), // want `microword "dead\.orphan" \(RowSimple, ClassCompute\) is defined but reaches no count site`
+	//vaxlint:allow uwdead -- counted through a table of function values the dataflow cannot see; kept as the documented escape hatch
+	exempt: cs.Define("dead.exempt", uwucode.RowSimple, uwucode.ClassCompute),
+}
+
+var hooks []func(*Machine)
+
+func init() {
+	hooks = append(hooks, func(m *Machine) { m.tick(uw.closed) })
+}
+
+func run(m *Machine) {
+	m.tick(uw.live)
+	for _, h := range hooks {
+		h(m)
+	}
+}

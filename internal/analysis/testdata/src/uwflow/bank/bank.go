@@ -1,0 +1,37 @@
+// Package bank is the cross-package half of the uwflow fixture: the
+// bindings of Words and the channel summaries of TickIt/BurnMem travel
+// to the importing package as object facts, so the checks there run
+// without ever seeing these bodies.
+package bank
+
+import "uwucode"
+
+type Machine struct {
+	counts map[uint16]uint64
+	stalls map[uint16]uint64
+}
+
+func (m *Machine) tick(w uint16)            { m.counts[w]++ }
+func (m *Machine) stall(w uint16, c uint64) { m.stalls[w] += c }
+
+var cs = uwucode.NewStore()
+
+var Words = struct {
+	Rd     uint16
+	Marker uint16
+}{
+	Rd:     cs.Define("bank.rd", uwucode.RowSimple, uwucode.ClassRead),
+	Marker: cs.Define("bank.mark", uwucode.RowSimple, uwucode.ClassMarker),
+}
+
+// TickIt burns one execution cycle on w.
+func TickIt(m *Machine, w uint16) { m.tick(w) }
+
+// BurnMem accounts the wait and then burns the execution cycle: the
+// read/write pairing a memory-reference word needs.
+func BurnMem(m *Machine, w uint16, wait uint64) {
+	if wait > 0 {
+		m.stall(w, wait)
+	}
+	m.tick(w)
+}

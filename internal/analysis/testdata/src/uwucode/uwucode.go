@@ -1,0 +1,47 @@
+// Package uwucode is a mirror-surface miniature of internal/ucode for
+// the µflow analyzer fixtures: the same Store/Define/Lookup/MustLookup
+// API and the same Row/Class constant names, so the analyzers'
+// name-based matching exercises exactly the code paths of the real tree.
+package uwucode
+
+type Row uint8
+
+const (
+	RowSimple Row = iota
+	RowFloat
+	RowSpec1
+)
+
+type Class uint8
+
+const (
+	ClassCompute Class = iota
+	ClassDispatch
+	ClassRead
+	ClassWrite
+	ClassIBStall
+	ClassMarker
+)
+
+type Store struct{ byName map[string]uint16 }
+
+func NewStore() *Store { return &Store{byName: map[string]uint16{}} }
+
+func (s *Store) Define(name string, row Row, class Class) uint16 {
+	addr := uint16(len(s.byName) + 1)
+	s.byName[name] = addr
+	return addr
+}
+
+func (s *Store) Lookup(name string) (uint16, bool) {
+	a, ok := s.byName[name]
+	return a, ok
+}
+
+func (s *Store) MustLookup(name string) uint16 {
+	a, ok := s.byName[name]
+	if !ok {
+		panic("uwucode: unknown microword " + name)
+	}
+	return a
+}

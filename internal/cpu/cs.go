@@ -99,7 +99,6 @@ var uw = struct {
 	sAluEntry   uint16
 	sAluExtra   uint16
 	sPushWrite  uint16
-	sMemRead    uint16
 	brCondEntry uint16
 	brCondTaken uint16
 	brLoopEntry uint16
@@ -241,7 +240,6 @@ var uw = struct {
 	sAluEntry:   def("exec.simple.alu.entry", ucode.RowSimple, ucode.ClassCompute),
 	sAluExtra:   def("exec.simple.alu.extra", ucode.RowSimple, ucode.ClassCompute),
 	sPushWrite:  def("exec.simple.push.write", ucode.RowSimple, ucode.ClassWrite),
-	sMemRead:    def("exec.simple.mem.read", ucode.RowSimple, ucode.ClassRead),
 	brCondEntry: def("exec.br.cond.entry", ucode.RowSimple, ucode.ClassCompute),
 	brCondTaken: def("exec.br.cond.taken", ucode.RowSimple, ucode.ClassCompute),
 	brLoopEntry: def("exec.br.loop.entry", ucode.RowSimple, ucode.ClassCompute),

@@ -11,7 +11,11 @@
 // step needs ("additional interpretation of the raw histogram data", §2.2).
 package ucode
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // StoreSize is the number of addressable control-store locations (and thus
 // histogram buckets): the monitor board had 16,000 count locations; the
@@ -189,13 +193,21 @@ func (s *Store) MustLookup(name string) uint16 {
 }
 
 // nearest returns the defined name sharing the longest common prefix with
-// name, breaking ties toward the shorter candidate.
+// name, breaking ties toward the shorter candidate and then toward the
+// lexicographically smaller one. Candidates are visited in sorted order,
+// never map order, so the panic message of MustLookup is reproducible —
+// a diagnostic that changes between runs defeats golden-logging it.
 func (s *Store) nearest(name string) (string, uint16, bool) {
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	best, bestAddr, bestLen := "", uint16(0), -1
-	for n, a := range s.byName {
+	for _, n := range names {
 		l := commonPrefixLen(n, name)
-		if l > bestLen || (l == bestLen && (best == "" || len(n) < len(best))) {
-			best, bestAddr, bestLen = n, a, l
+		if l > bestLen || (l == bestLen && len(n) < len(best)) {
+			best, bestAddr, bestLen = n, s.byName[n], l
 		}
 	}
 	return best, bestAddr, bestLen >= 0
@@ -217,22 +229,26 @@ func (s *Store) Words() []Word { return s.words }
 // name, row and class per location — the document the paper's analysts
 // worked from when interpreting histograms.
 func (s *Store) Listing() string {
-	var sb []byte
+	var b strings.Builder
+	b.Grow(len(s.words) * 56) // 5+1 addr, 30+1 name, 12+1 row, class, newline
 	for _, w := range s.words[1:] {
-		sb = append(sb, []byte(pad(itox(w.Addr), 5))...)
-		sb = append(sb, []byte(pad(w.Name, 30))...)
-		sb = append(sb, []byte(pad(w.Row.String(), 12))...)
-		sb = append(sb, []byte(w.Class.String())...)
-		sb = append(sb, '\n')
+		writePadded(&b, itox(w.Addr), 5)
+		writePadded(&b, w.Name, 30)
+		writePadded(&b, w.Row.String(), 12)
+		b.WriteString(w.Class.String())
+		b.WriteByte('\n')
 	}
-	return string(sb)
+	return b.String()
 }
 
-func pad(s string, n int) string {
-	for len(s) < n {
-		s += " "
+// writePadded writes s space-padded to n columns plus one separator space,
+// without the per-column string reallocation the old pad helper paid.
+func writePadded(b *strings.Builder, s string, n int) {
+	b.WriteString(s)
+	for i := len(s); i < n; i++ {
+		b.WriteByte(' ')
 	}
-	return s + " "
+	b.WriteByte(' ')
 }
 
 func itox(v uint16) string {

@@ -121,3 +121,46 @@ func containsStr(s, sub string) bool {
 	}
 	return false
 }
+
+// TestNearestDeterministic pins the tie-breaking of nearest: with several
+// candidates sharing the same common prefix and length, the suggestion in
+// the MustLookup panic must be the lexicographically smallest, on every
+// run and regardless of definition (map insertion) order.
+func TestNearestDeterministic(t *testing.T) {
+	build := func(names []string) *Store {
+		s := NewStore()
+		for _, n := range names {
+			s.Define(n, RowSimple, ClassCompute)
+		}
+		return s
+	}
+	// All four candidates share the prefix "exec." (len 5) with the
+	// query and have equal length; "exec.aa" must win every time.
+	names := []string{"exec.dd", "exec.bb", "exec.aa", "exec.cc"}
+	for trial := 0; trial < 20; trial++ {
+		// Rotate the definition order so any map-order dependence would
+		// surface as a different suggestion between stores.
+		rot := append(append([]string{}, names[trial%len(names):]...), names[:trial%len(names)]...)
+		near, _, ok := build(rot).nearest("exec.zz")
+		if !ok || near != "exec.aa" {
+			t.Fatalf("definition order %v: nearest = %q, want %q", rot, near, "exec.aa")
+		}
+	}
+}
+
+// BenchmarkListing guards the strings.Builder rendering: the old
+// byte-slice/pad implementation was quadratic in padding and reallocated
+// per column, which showed up once the listing covered a full store.
+func BenchmarkListing(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 2000; i++ {
+		s.Define("bench.word."+itoa(i+1), RowSimple, ClassCompute)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Listing()) == 0 {
+			b.Fatal("empty listing")
+		}
+	}
+}
