@@ -22,7 +22,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# All eleven analyzers, human-readable; vet is its own target above.
+# All thirteen analyzers, human-readable; vet is its own target above.
 vaxlint:
 	$(GO) run ./cmd/vaxlint -vet=false ./...
 
@@ -59,6 +59,9 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeSpecifier -fuzztime $(FUZZTIME) ./internal/vax
 	$(GO) test -fuzz=FuzzCheckpointLoad -fuzztime $(FUZZTIME) ./internal/checkpoint
 
-# Regenerate every table and figure of the paper (see bench_test.go).
+# Regenerate every table and figure of the paper (see bench_test.go),
+# then append a stepping-cost entry — cycles/sec, ns/cycle, allocs/cycle
+# per workload profile — to the committed BENCH_step.json ledger.
 bench:
 	$(GO) test -bench . -benchtime 1x
+	$(GO) run ./cmd/vaxbench -out BENCH_step.json

@@ -18,6 +18,7 @@
 //	go run ./cmd/vaxlint -run determinism ./... # only the named analyzers
 //	go run ./cmd/vaxlint -json ./...            # machine-readable findings
 //	go run ./cmd/vaxlint -sarif ./...           # SARIF 2.1.0 log (CI code scanning)
+//	go run ./cmd/vaxlint -allows ./...          # list every justified suppression
 //	go run ./cmd/vaxlint -list                  # show the suite
 //
 // Contract:
@@ -34,6 +35,12 @@
 //   - exit 2: the load itself failed (bad pattern, unparseable or
 //     untypeable source, unknown -run name): no findings were computed
 //     and the tree's health is unknown.
+//
+// -allows is the audit view of the suppression layer: instead of running
+// the analyzers it lists every //vaxlint:allow note in the load — one
+// line per note, "file:line: analyzer[,analyzer]: reason" — sorted by
+// file then line, so the set of accepted exceptions is reviewable as a
+// whole and diffable between revisions. Exit 0 regardless of count.
 package main
 
 import (
@@ -63,6 +70,7 @@ func main() {
 	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
 	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout")
+	allows := flag.Bool("allows", false, "list every //vaxlint:allow suppression and exit")
 	flag.Parse()
 	if *jsonOut && *sarifOut {
 		cli.Exitf(2, "vaxlint", "-json and -sarif are mutually exclusive")
@@ -95,6 +103,18 @@ func main() {
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+
+	if *allows {
+		pkgs, err := analysis.LoadModule(".", patterns)
+		if err != nil {
+			cli.Exitf(2, "vaxlint", "%v", err)
+		}
+		for _, e := range analysis.CollectAllows(pkgs) {
+			fmt.Printf("%s:%d: %s: %s\n",
+				e.Pos.Filename, e.Pos.Line, strings.Join(e.Analyzers, ","), e.Reason)
+		}
+		return
 	}
 
 	exitCode := 0

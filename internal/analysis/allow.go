@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -130,6 +131,13 @@ func validateAllows(idx allowIndex, known map[string]bool, fset *token.FileSet, 
 // else. Notes without a justification never suppress — they are
 // themselves findings.
 func (p *Pass) Allowed(pos token.Pos) bool {
+	return p.allowedAs(p.Analyzer.Name, pos)
+}
+
+// allowedAs is Allowed for an arbitrary analyzer name. The hot-set
+// builder (hotset.go) uses it to prune cold functions for both hotpath
+// and hotbox through one //vaxlint:allow hotpath note on the declaration.
+func (p *Pass) allowedAs(name string, pos token.Pos) bool {
 	if p.allows == nil {
 		return false
 	}
@@ -138,5 +146,43 @@ func (p *Pass) Allowed(pos token.Pos) bool {
 	if !ok {
 		return false
 	}
-	return note.covers(p.Analyzer.Name) && note.reason != ""
+	return note.covers(name) && note.reason != ""
+}
+
+// AllowEntry is one //vaxlint:allow note of the load, as listed by
+// `vaxlint -allows`: the audit trail of every suppression in one place.
+type AllowEntry struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+}
+
+// CollectAllows scans pkgs for allow notes and returns them sorted by
+// file, then line — a deterministic listing independent of map order.
+func CollectAllows(pkgs []*Package) []AllowEntry {
+	var out []AllowEntry
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					note := parseAllow(c.Text, c.Pos())
+					out = append(out, AllowEntry{
+						Pos:       pkg.Fset.Position(c.Pos()),
+						Analyzers: note.analyzers,
+						Reason:    note.reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
 }

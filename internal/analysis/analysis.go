@@ -168,14 +168,16 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 
 // All is the vaxlint suite in reporting order: the four cross-table
 // analyzers from the original suite, the four determinism-contract
-// analyzers built on the fact layer, then the three µflow attribution
+// analyzers built on the fact layer, the three µflow attribution
 // analyzers built on the CFG + dataflow layer (cfg.go, dataflow.go,
-// uwmodel.go).
+// uwmodel.go), and the two hot-path perf-contract analyzers built on the
+// callgraph's function-value and interface approximations (hotset.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		ExecTable, UWRef, PaperConst, ProbeSafe,
 		Determinism, StateComplete, TypedErr, Exhaustive,
 		UWFlow, UWDead, RowScope,
+		HotPath, HotBox,
 	}
 }
 

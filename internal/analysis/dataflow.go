@@ -108,24 +108,27 @@ func (e env) join(src env) bool {
 // uwSite is one call site with its abstract arguments.
 type uwSite struct {
 	call    *ast.CallExpr
-	callee  *types.Func // nil for raw probe calls
-	probeCh uwChannel   // set when callee is nil (interface dispatch on Probe)
+	callee  *types.Func     // nil for raw probe and dynamic calls
+	probeCh uwChannel       // set when callee is nil (interface dispatch on Probe)
+	dyn     *types.TypeName // named function type of a call with no static callee
 	block   *Block
 	ord     int // site ordinal within the function, in block-statement order
 	args    []valueSet
 }
 
-// funcFlow is the analyzed state of one function: its CFG, the fixed-
-// point env at each block entry, and every call site with abstract
+// funcFlow is the analyzed state of one function or literal: its CFG, the
+// fixed-point env at each block entry, and every call site with abstract
 // argument values.
 type funcFlow struct {
 	pkg      *Package
 	fd       FuncDecl
-	fn       *types.Func
+	fn       *types.Func  // nil for literals
+	lit      *ast.FuncLit // nil for declared functions
 	cfg      *CFG
 	blockIn  []env
 	sites    []*uwSite
 	paramIdx map[*types.Var]int
+	nparams  int
 }
 
 // flowFunc builds the CFG of fd, runs the forward fixed point, and
@@ -136,12 +139,13 @@ func (m *uwModel) flowFunc(pkg *Package, fd FuncDecl) {
 	m.flows[fd.Obj] = flow
 }
 
-// flowLit analyzes one function literal as its own flow. A closure has no
-// static callee, so it never gets a summary a caller could use — but the
-// count sites inside it are real sites (the exec microroutines are
-// registered as literals in init), and uwflow/uwdead must see them.
-// Free variables of the enclosing function evaluate to bottom; package
-// vars and handle-struct fields still resolve through the static bindings.
+// flowLit analyzes one function literal as its own flow. The count sites
+// inside it are real sites (the exec microroutines are registered as
+// literals in init), and the literal carries a real summary and inflow,
+// keyed by its AST node, so a table dispatch through a named function
+// type sees the closure's channels. Free variables of the enclosing
+// function evaluate to bottom; package vars and handle-struct fields
+// still resolve through the static bindings.
 func (m *uwModel) flowLit(pkg *Package, lit *ast.FuncLit) {
 	tv, ok := pkg.Info.Types[ast.Expr(lit)]
 	if !ok {
@@ -151,7 +155,9 @@ func (m *uwModel) flowLit(pkg *Package, lit *ast.FuncLit) {
 	if !ok {
 		return
 	}
-	m.flowBody(pkg, nil, sig, lit.Body)
+	flow := m.flowBody(pkg, nil, sig, lit.Body)
+	flow.lit = lit
+	m.litFlows[lit] = flow
 }
 
 // flowBody is the engine shared by flowFunc and flowLit: CFG, forward
@@ -163,6 +169,7 @@ func (m *uwModel) flowBody(pkg *Package, fn *types.Func, sig *types.Signature, b
 		fn:       fn,
 		cfg:      BuildCFG(body),
 		paramIdx: make(map[*types.Var]int),
+		nparams:  sig.Params().Len(),
 	}
 	entry := make(env)
 	for i := 0; i < sig.Params().Len(); i++ {
@@ -225,6 +232,8 @@ func (m *uwModel) flowBody(pkg *Package, fn *types.Func, sig *types.Signature, b
 					site.callee = fn
 				} else if ch, ok := probeChannelOf(pkg, call); ok {
 					site.probeCh = ch
+				} else if tn := DynamicFuncType(pkg.Info, call); tn != nil {
+					site.dyn = tn
 				} else {
 					return true
 				}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotBox proves the dispatch-shape contract of the measurement loop: the
+// hot path must not box values into interfaces, call through fmt, or
+// touch maps. These are the shapes that cost indirect dispatch and
+// allocation the paper's cycle attribution cannot see — a map lookup in
+// the opcode dispatch would put Go's hash probe inside every "microcycle"
+// while the histogram keeps claiming the cycle went to the VAX. Flagged,
+// each with the call chain from the stepping root:
+//
+//   - fmt.* calls (reflection-driven formatting per cycle);
+//   - explicit conversions of concrete non-pointer values to interface
+//     types, and implicit ones at call arguments and assignments
+//     (pointers ride in the interface word without allocating and stay
+//     silent; a call whose static callee is a pruned cold function is a
+//     cold site and its arguments are not judged);
+//   - map iteration (nondeterministic order — also a determinism hazard)
+//     and map indexing in the tick path.
+//
+// HotBox shares the hot set — and the //vaxlint:allow hotpath cold-slice
+// pruning — with HotPath (hotset.go); per-line suppressions use its own
+// name: //vaxlint:allow hotbox -- <reason>.
+var HotBox = &Analyzer{
+	Name:        "hotbox",
+	Doc:         "no interface boxing, fmt calls, or map traffic reachable from Machine.Step*/Run",
+	ModuleLevel: true,
+	Run:         runHotBox,
+}
+
+func runHotBox(pass *Pass) error {
+	hs := buildHotSet(pass)
+	for _, n := range hs.nodes {
+		hs.scanHot(n, func(stack []ast.Node, node ast.Node) bool {
+			checkHotBox(pass, n, node)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkHotBox(pass *Pass, n *hotNode, node ast.Node) {
+	info := n.pkg.Info
+	switch x := node.(type) {
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+			if len(x.Args) == 1 && boxes(tv.Type, info.TypeOf(x.Args[0])) {
+				pass.Reportf(x.Pos(),
+					"hot path (%s): conversion boxes %s into %s per cycle", n.chain,
+					typeName(info.TypeOf(x.Args[0])), typeName(tv.Type))
+			}
+			return
+		}
+		fn := Callee(info, x)
+		if fn == nil {
+			return
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(x.Pos(),
+				"hot path (%s): fmt.%s formats through reflection per cycle", n.chain, fn.Name())
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		for i, arg := range x.Args {
+			pt := paramType(sig, i)
+			if pt != nil && boxes(pt, info.TypeOf(arg)) {
+				pass.Reportf(arg.Pos(),
+					"hot path (%s): argument boxes %s into %s per cycle in the call to %s",
+					n.chain, typeName(info.TypeOf(arg)), typeName(pt), fn.Name())
+			}
+		}
+	case *ast.AssignStmt:
+		if len(x.Lhs) != len(x.Rhs) {
+			return
+		}
+		for i, lhs := range x.Lhs {
+			lt := info.TypeOf(lhs)
+			if lt != nil && boxes(lt, info.TypeOf(x.Rhs[i])) {
+				pass.Reportf(x.Rhs[i].Pos(),
+					"hot path (%s): assignment boxes %s into %s per cycle",
+					n.chain, typeName(info.TypeOf(x.Rhs[i])), typeName(lt))
+			}
+		}
+	case *ast.RangeStmt:
+		if t := info.TypeOf(x.X); t != nil {
+			if _, ok := types.Unalias(t).Underlying().(*types.Map); ok {
+				pass.Reportf(x.Pos(),
+					"hot path (%s): map iteration per cycle (nondeterministic order, hash-probe cost)", n.chain)
+			}
+		}
+	case *ast.IndexExpr:
+		if t := info.TypeOf(x.X); t != nil {
+			if _, ok := types.Unalias(t).Underlying().(*types.Map); ok {
+				pass.Reportf(x.Pos(),
+					"hot path (%s): map lookup per cycle; replace with a dense table", n.chain)
+			}
+		}
+	}
+}
+
+// boxes reports whether storing a value of type src into a location of
+// type dst boxes: dst is an interface, src is a concrete non-pointer
+// type. Pointers (and nil, whose type is untyped) fit in the interface
+// word without allocating; interface-to-interface copies do not box.
+func boxes(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if !types.IsInterface(dst.Underlying()) {
+		return false
+	}
+	if types.IsInterface(src.Underlying()) {
+		return false
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return false // nil, untyped constants: no runtime value to box here
+	}
+	if _, ok := src.Underlying().(*types.Pointer); ok {
+		return false
+	}
+	return true
+}
+
+func typeName(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj() != nil {
+		if named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}

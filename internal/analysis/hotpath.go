@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath proves the per-cycle allocation contract of the measurement
+// loop: on every path the CFG proves reachable from Machine.Step*/Run/
+// RunCtx, nothing may allocate. The paper's method divides wall-clock by
+// cycles; a single make() in the specifier decode path turns every
+// measurement into a benchmark of the Go allocator instead of the
+// machine model, and — worse — does it silently, because the histogram
+// stays self-consistent. The analyzer flags, with the call chain from
+// the root that reaches them:
+//
+//   - make/new and slice/map composite literals (heap, growth);
+//   - &T{} composite literals whose address escapes the statement;
+//   - function literals and method values (closure allocation);
+//   - defer (runtime bookkeeping per cycle, on top of the closure);
+//   - append (amortized growth of the backing array);
+//   - go statements (a goroutine per cycle is never intended here).
+//
+// The escape judgment is an approximation, deliberately coarser than the
+// compiler's: it flags what *may* allocate, and the justified cold
+// slices — machine-check assembly, exception delivery, the HALT path —
+// are pruned with //vaxlint:allow hotpath on the function declaration
+// (see hotset.go) or excused per line. DESIGN.md §13 confronts the
+// approximation with `go build -gcflags=-m` ground truth.
+var HotPath = &Analyzer{
+	Name:        "hotpath",
+	Doc:         "nothing reachable from Machine.Step*/Run may allocate per cycle (make, escaping literals, closures, defer, append growth)",
+	ModuleLevel: true,
+	Run:         runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	hs := buildHotSet(pass)
+	for _, n := range hs.nodes {
+		hs.scanHot(n, func(stack []ast.Node, node ast.Node) bool {
+			checkHotAlloc(pass, n, stack, node)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkHotAlloc(pass *Pass, n *hotNode, stack []ast.Node, node ast.Node) {
+	info := n.pkg.Info
+	switch x := node.(type) {
+	case *ast.DeferStmt:
+		pass.Reportf(x.Pos(),
+			"hot path (%s): defer runs its bookkeeping every cycle; restructure into explicit calls on each exit", n.chain)
+	case *ast.GoStmt:
+		pass.Reportf(x.Pos(),
+			"hot path (%s): go statement launches a goroutine per cycle", n.chain)
+	case *ast.FuncLit:
+		pass.Reportf(x.Pos(),
+			"hot path (%s): function literal allocates a closure per cycle; hoist it to a declared function", n.chain)
+	case *ast.CallExpr:
+		switch builtinName(info, x) {
+		case "make":
+			pass.Reportf(x.Pos(),
+				"hot path (%s): make allocates per cycle; reuse a preallocated buffer on the machine", n.chain)
+		case "new":
+			pass.Reportf(x.Pos(),
+				"hot path (%s): new allocates per cycle", n.chain)
+		case "append":
+			pass.Reportf(x.Pos(),
+				"hot path (%s): append may grow its backing array per cycle; size the slice at construction", n.chain)
+		}
+	case *ast.CompositeLit:
+		checkHotComposite(pass, n, stack, x)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal && !isCallFun(stack, x) {
+			pass.Reportf(x.Pos(),
+				"hot path (%s): method value %s allocates a bound-method closure per cycle; pass an interface or a declared function instead", n.chain, x.Sel.Name)
+		}
+	}
+}
+
+// checkHotComposite flags the composite-literal shapes that reach the
+// heap: slice and map literals always carry a backing allocation (except
+// a slice literal ranged over in place, which the compiler keeps on the
+// stack); struct and array literals allocate only when their address is
+// taken, so plain value copies like `*op = operand{…}` stay silent.
+func checkHotComposite(pass *Pass, n *hotNode, stack []ast.Node, lit *ast.CompositeLit) {
+	t := n.pkg.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	parent := ast.Node(nil)
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice:
+		if rs, ok := parent.(*ast.RangeStmt); ok && ast.Unparen(rs.X) == ast.Expr(lit) {
+			return // ranged over in place: stack-allocated
+		}
+		pass.Reportf(lit.Pos(),
+			"hot path (%s): slice literal allocates its backing array per cycle", n.chain)
+	case *types.Map:
+		pass.Reportf(lit.Pos(),
+			"hot path (%s): map literal allocates per cycle", n.chain)
+	case *types.Struct, *types.Array:
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			pass.Reportf(u.Pos(),
+				"hot path (%s): &%s{…} escapes to the heap per cycle; reuse a field on the machine", n.chain, compositeTypeName(t))
+		}
+	}
+}
+
+func compositeTypeName(t types.Type) string {
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// isCallFun reports whether e is the function operand of its enclosing
+// call (m.tick(w): the selector m.tick is a call, not a method value).
+func isCallFun(stack []ast.Node, e ast.Expr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == ast.Unparen(e)
+}
+
+// builtinName names the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

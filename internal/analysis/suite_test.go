@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -51,6 +52,40 @@ func TestUWDead(t *testing.T) {
 
 func TestRowScope(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.RowScope, "rowscope")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotPath, "hotpath")
+}
+
+func TestHotBox(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotBox, "hotbox")
+}
+
+// TestHotClean proves both hot-path analyzers stay silent on a stepping
+// loop that dispatches through a handler table and an interface probe but
+// never allocates or boxes on a reachable path.
+func TestHotClean(t *testing.T) {
+	for _, a := range []*analysis.Analyzer{analysis.HotPath, analysis.HotBox} {
+		analysistest.Run(t, "testdata", a, "hotclean")
+	}
+}
+
+// TestUWValue exercises the type-based callee approximation: class
+// violations whose words only reach the count sites through a handler
+// table of a named function type, landing inside the registered function
+// and the registered closure.
+func TestUWValue(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.UWFlow, "uwvalue")
+}
+
+// TestUWValueClean proves the dynamic-dispatch machinery does not invent
+// findings (uwflow silent on a clean table) and that uwdead sees words
+// counted only through function values.
+func TestUWValueClean(t *testing.T) {
+	for _, a := range []*analysis.Analyzer{analysis.UWFlow, analysis.UWDead} {
+		analysistest.Run(t, "testdata", a, "uwvalueclean")
+	}
 }
 
 // TestUWClean proves the three µflow analyzers stay silent on a fixture
@@ -142,6 +177,37 @@ func TestAllowValidation(t *testing.T) {
 	}
 	if len(diags) != len(wants) {
 		t.Errorf("got %d diagnostics, want %d:\n%s", len(diags), len(wants), diagDump(diags))
+	}
+}
+
+// TestCollectAllows pins the audit listing behind `vaxlint -allows`: one
+// entry per //vaxlint:allow note in the load, sorted by file then line,
+// carrying the analyzer names and the justification text.
+func TestCollectAllows(t *testing.T) {
+	pkgs, err := analysis.LoadTestdataPackages("testdata/src", "hotpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := analysis.CollectAllows(pkgs)
+	if len(entries) != 2 {
+		t.Fatalf("got %d allow entries, want 2: %+v", len(entries), entries)
+	}
+	if !sort.SliceIsSorted(entries, func(i, j int) bool {
+		if entries[i].Pos.Filename != entries[j].Pos.Filename {
+			return entries[i].Pos.Filename < entries[j].Pos.Filename
+		}
+		return entries[i].Pos.Line < entries[j].Pos.Line
+	}) {
+		t.Errorf("entries not sorted by file then line: %+v", entries)
+	}
+	for i, wantPrefix := range []string{"bounded:", "cold:"} {
+		e := entries[i]
+		if len(e.Analyzers) != 1 || e.Analyzers[0] != "hotpath" {
+			t.Errorf("entry %d analyzers = %v, want [hotpath]", i, e.Analyzers)
+		}
+		if !strings.HasPrefix(e.Reason, wantPrefix) {
+			t.Errorf("entry %d reason %q, want prefix %q", i, e.Reason, wantPrefix)
+		}
 	}
 }
 

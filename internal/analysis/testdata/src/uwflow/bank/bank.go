@@ -24,8 +24,14 @@ var Words = struct {
 	Marker: cs.Define("bank.mark", uwucode.RowSimple, uwucode.ClassMarker),
 }
 
-// TickIt burns one execution cycle on w.
-func TickIt(m *Machine, w uint16) { m.tick(w) }
+// TickIt burns one execution cycle on w. The marker class arrives on w
+// from markInternally below; that inflow travels in TickIt's exported
+// fact alongside its channel summary.
+func TickIt(m *Machine, w uint16) {
+	m.tick(w) // want `ClassMarker microword \(parameter w\) counted on the exec channel`
+}
+
+func markInternally(m *Machine) { TickIt(m, Words.Marker) }
 
 // BurnMem accounts the wait and then burns the execution cycle: the
 // read/write pairing a memory-reference word needs.

@@ -1,0 +1,48 @@
+// Package uwvalue seeds class violations that are only visible through
+// the type-based callee approximation: microwords dispatched through a
+// table of a *named* function type. The dispatch site has no static
+// callee; the classes of the dispatched words arrive on the candidates'
+// parameters as inflow, so the findings land at the count sites inside
+// the registered function and the registered closure.
+package uwvalue
+
+import "uwucode"
+
+type Machine struct {
+	counts map[uint16]uint64
+	stalls map[uint16]uint64
+}
+
+func (m *Machine) tick(w uint16)            { m.counts[w]++ }
+func (m *Machine) stall(w uint16, c uint64) { m.stalls[w] += c }
+
+var cs = uwucode.NewStore()
+
+var uw = struct {
+	compute uint16
+	mark    uint16
+}{
+	compute: cs.Define("value.compute", uwucode.RowSimple, uwucode.ClassCompute),
+	mark:    cs.Define("value.mark", uwucode.RowSimple, uwucode.ClassMarker),
+}
+
+// handler is the named function type of the dispatch table.
+type handler func(m *Machine, w uint16)
+
+// tickWord is registered in the table; the marker word reaches its
+// parameter only through the dynamic dispatch below.
+func tickWord(m *Machine, w uint16) {
+	m.tick(w) // want `ClassMarker microword \(parameter w\) counted on the exec channel; ClassMarker words are counted only on free`
+}
+
+var table = [...]handler{
+	tickWord,
+	func(m *Machine, w uint16) {
+		m.tick(w) // want `ClassMarker microword \(parameter w\) counted on the exec channel; ClassMarker words are counted only on free`
+	},
+}
+
+func dispatch(m *Machine, i int) {
+	table[i](m, uw.compute) // clean: compute words may tick
+	table[i](m, uw.mark)
+}

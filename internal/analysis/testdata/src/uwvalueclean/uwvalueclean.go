@@ -1,0 +1,39 @@
+// Package uwvalueclean is the negative half of the function-value
+// fixtures: every microword is counted only through a handler table of a
+// named function type — one candidate a declared function, one a closure
+// — on its permitted channel. uwflow must stay silent, and uwdead must
+// see through the dynamic dispatch (without the candidates' summaries the
+// words would be reported as structurally-zero buckets).
+package uwvalueclean
+
+import "uwucode"
+
+type Machine struct {
+	counts map[uint16]uint64
+}
+
+func (m *Machine) tick(w uint16) { m.counts[w]++ }
+
+var cs = uwucode.NewStore()
+
+var uw = struct {
+	tabbed uint16
+	inlit  uint16
+}{
+	tabbed: cs.Define("clean.tabbed", uwucode.RowSimple, uwucode.ClassCompute),
+	inlit:  cs.Define("clean.inlit", uwucode.RowSimple, uwucode.ClassCompute),
+}
+
+type handler func(m *Machine, w uint16)
+
+func tickIt(m *Machine, w uint16) { m.tick(w) }
+
+var table = map[uint8]handler{
+	0: tickIt,
+	1: func(m *Machine, w uint16) { m.tick(w) },
+}
+
+func dispatch(m *Machine, k uint8) {
+	table[k](m, uw.tabbed)
+	table[k](m, uw.inlit)
+}

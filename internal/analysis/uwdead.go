@@ -47,6 +47,18 @@ func runUWDead(pass *Pass) error {
 				}
 				continue
 			}
+			// A dynamic call counts a handle if any candidate value of the
+			// named function type (a registered handler or literal) leads
+			// the parameter to a channel.
+			if site.dyn != nil {
+				summ := m.dynSummary(site.dyn, false)
+				for j := 0; j < len(summ) && j < len(site.args); j++ {
+					if len(summ[j]) > 0 {
+						mark(site.args[j])
+					}
+				}
+				continue
+			}
 			if ch, hp, ok := channelOf(site.callee); ok && ch != "" {
 				if hp < len(site.args) {
 					mark(site.args[hp])

@@ -83,6 +83,16 @@ func (m *uwModel) checkFlowSite(flow *funcFlow, site *uwSite) {
 		}
 		return
 	}
+	// A call through a named function type feeds every collected value of
+	// the type. Candidates analyzed by this pass (local functions and
+	// literals) are judged at their own interior sites, where the table
+	// dispatch's classes arrive by inflow; only candidates whose bodies
+	// live elsewhere are judged here, against the union of their imported
+	// summaries.
+	if site.dyn != nil {
+		m.checkDynSite(flow, site)
+		return
+	}
 	// Call into a helper whose body this pass does not see (another
 	// package): judge the handle against the helper's channel summary.
 	if site.callee == nil || m.flows[site.callee] != nil {
@@ -110,6 +120,31 @@ func (m *uwModel) checkFlowSite(flow *funcFlow, site *uwSite) {
 				pass.Reportf(site.call.Args[j].Pos(),
 					"read/write-class microword (%s) flows into %s, which ticks it without any stall accounting",
 					m.handleNames(site.args[j]), site.callee.Name())
+			}
+		}
+	}
+}
+
+// checkDynSite judges the arguments of a dynamic call against the summary
+// union of the candidates this pass cannot see locally.
+func (m *uwModel) checkDynSite(flow *funcFlow, site *uwSite) {
+	summ := m.dynSummary(site.dyn, true)
+	for j := 0; j < len(summ) && j < len(site.args); j++ {
+		if len(summ[j]) == 0 {
+			continue
+		}
+		classes := m.classesOf(flow, site.args[j])
+		for _, c := range sortedClasses(classes) {
+			allowed, known := uwAllowedChannels[c]
+			if !known {
+				continue
+			}
+			for _, ch := range sortedChans(summ[j]) {
+				if !allowed[ch] {
+					m.pass.Reportf(site.call.Args[j].Pos(),
+						"%s microword (%s) flows into a %s value, which may count it on the %s channel; %s words are counted only on %s",
+						c, m.handleNames(site.args[j]), site.dyn.Name(), ch, c, channelList(allowed))
+				}
 			}
 		}
 	}

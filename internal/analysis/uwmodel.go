@@ -79,9 +79,13 @@ func (*uwObjFact) AFact() {}
 
 // uwChanFact summarizes a function for its importers: for each parameter,
 // the set of count channels the parameter's value may reach inside the
-// callee (transitively).
+// callee (transitively), and the set of microword Class constant names
+// observed flowing into the parameter from the callers the exporting pass
+// analyzed (the class inflow, promoted to an object fact so an importer
+// can judge a helper's parameters without seeing the helper's callers).
 type uwChanFact struct {
 	Params [][]string
+	Inflow [][]string
 }
 
 func (*uwChanFact) AFact() {}
@@ -107,6 +111,17 @@ type uwModel struct {
 	summary map[*types.Func][]chanSet
 	inflow  map[*types.Func][]classSet
 	sumSeen map[*types.Func]bool // functions whose summary fact import was attempted
+
+	// Closures get real summaries and inflows, keyed by their literal:
+	// a literal registered in a handler table is a callee like any other.
+	litFlows   map[*ast.FuncLit]*funcFlow
+	litSummary map[*ast.FuncLit][]chanSet
+	litInflow  map[*ast.FuncLit][]classSet
+
+	// funcVals is the type-based callee approximation for calls through
+	// *named* function types (the execTable shape): every value of the
+	// type collected anywhere in the analyzed packages is a candidate.
+	funcVals map[*types.TypeName][]FuncValue
 }
 
 type chanSet map[uwChannel]bool
@@ -120,19 +135,23 @@ type classSet map[string]bool
 // importing packages.
 func buildUWModel(pass *Pass, pkgs []*Package) *uwModel {
 	m := &uwModel{
-		pass:     pass,
-		pkgs:     pkgs,
-		hIndex:   make(map[string]int),
-		byObj:    make(map[types.Object][]int),
-		defSite:  make(map[token.Pos]int),
-		stores:   make(map[types.Object]bool),
-		storeTab: make(map[types.Object][]int),
-		probed:   make(map[types.Object]bool),
-		flows:    make(map[*types.Func]*funcFlow),
-		summary:  make(map[*types.Func][]chanSet),
-		inflow:   make(map[*types.Func][]classSet),
-		sumSeen:  make(map[*types.Func]bool),
+		pass:       pass,
+		pkgs:       pkgs,
+		hIndex:     make(map[string]int),
+		byObj:      make(map[types.Object][]int),
+		defSite:    make(map[token.Pos]int),
+		stores:     make(map[types.Object]bool),
+		storeTab:   make(map[types.Object][]int),
+		probed:     make(map[types.Object]bool),
+		flows:      make(map[*types.Func]*funcFlow),
+		summary:    make(map[*types.Func][]chanSet),
+		inflow:     make(map[*types.Func][]classSet),
+		sumSeen:    make(map[*types.Func]bool),
+		litFlows:   make(map[*ast.FuncLit]*funcFlow),
+		litSummary: make(map[*ast.FuncLit][]chanSet),
+		litInflow:  make(map[*ast.FuncLit][]classSet),
 	}
+	m.funcVals = FuncValues(pkgs)
 	m.collectHandles()
 	m.exportBindings()
 	for _, pkg := range pkgs {
@@ -156,6 +175,7 @@ func buildUWModel(pass *Pass, pkgs []*Package) *uwModel {
 	}
 	m.computeSummaries()
 	m.computeInflows()
+	m.exportSummaries()
 	return m
 }
 
@@ -632,25 +652,87 @@ func (m *uwModel) summaryOf(fn *types.Func) []chanSet {
 		}
 	}
 	m.summary[fn] = s
+	// The fact also carries the class inflow the exporting pass observed;
+	// importing it seeds this pass's view of the helper's parameters.
+	if len(f.Inflow) > 0 && m.inflow[fn] == nil {
+		in := make([]classSet, len(f.Inflow))
+		for i, classes := range f.Inflow {
+			if len(classes) == 0 {
+				continue
+			}
+			in[i] = make(classSet)
+			for _, c := range classes {
+				in[i][c] = true
+			}
+		}
+		m.inflow[fn] = in
+	}
 	return s
 }
 
+// summaryOfLit returns the channel summary of a function literal computed
+// by the local fixed point (closures never cross packages as facts: a
+// literal's identity is its AST node).
+func (m *uwModel) summaryOfLit(lit *ast.FuncLit) []chanSet {
+	return m.litSummary[lit]
+}
+
+// dynSummary unions the channel summaries of every candidate callee of a
+// call through the named function type tn — every function or literal
+// used anywhere in the analyzed packages as a value of that type. When
+// localChecked is true, candidates whose bodies this pass analyzes are
+// skipped: their interior sites are judged directly (with inflow-borne
+// classes), so re-judging them through the union would double-report.
+func (m *uwModel) dynSummary(tn *types.TypeName, localChecked bool) []chanSet {
+	sig, ok := tn.Type().Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make([]chanSet, sig.Params().Len())
+	for _, cand := range m.funcVals[tn] {
+		var cs []chanSet
+		switch {
+		case cand.Lit != nil:
+			if localChecked {
+				continue
+			}
+			cs = m.summaryOfLit(cand.Lit)
+		case cand.Fn != nil:
+			if localChecked && m.flows[cand.Fn] != nil {
+				continue
+			}
+			cs = m.summaryOf(cand.Fn)
+		}
+		for j := 0; j < len(cs) && j < len(out); j++ {
+			for ch := range cs[j] {
+				if out[j] == nil {
+					out[j] = make(chanSet)
+				}
+				out[j][ch] = true
+			}
+		}
+	}
+	return out
+}
+
 // computeSummaries iterates the bottom-up parameter→channel fixed point:
-// if a function's parameter flows into a call whose own parameter reaches
-// a channel, the caller's parameter reaches it too. Exported as facts so
-// importing packages see through helpers without re-deriving bodies.
+// if a function's (or literal's) parameter flows into a call whose own
+// parameter reaches a channel, the caller's parameter reaches it too.
+// Calls through named function types contribute the union of their
+// candidates' summaries, so a handler registered in a table is seen
+// through the table's call site.
 func (m *uwModel) computeSummaries() {
 	for changed := true; changed; {
 		changed = false
 		for _, flow := range m.flowLst {
-			if flow.fn == nil {
-				continue // a literal has no callers that could use a summary
-			}
 			for _, site := range flow.sites {
 				var cs []chanSet
-				if site.probeCh != "" {
+				switch {
+				case site.probeCh != "":
 					cs = []chanSet{{site.probeCh: true}}
-				} else {
+				case site.dyn != nil:
+					cs = m.dynSummary(site.dyn, false)
+				default:
 					cs = m.summaryOf(site.callee)
 				}
 				if cs == nil {
@@ -665,29 +747,59 @@ func (m *uwModel) computeSummaries() {
 						if !ok {
 							continue
 						}
-						if m.mergeSummary(flow.fn, pi, cs[j]) {
-							changed = true
+						if flow.fn != nil {
+							if m.mergeSummary(flow.fn, pi, cs[j]) {
+								changed = true
+							}
+						} else if flow.lit != nil {
+							if m.mergeLitSummary(flow, pi, cs[j]) {
+								changed = true
+							}
 						}
 					}
 				}
 			}
 		}
 	}
+}
+
+// exportSummaries publishes the channel summaries and class inflows of
+// the package's functions as uwChanFact object facts, after both fixed
+// points have run. Module-level passes have no fact store and need none.
+func (m *uwModel) exportSummaries() {
 	if m.pass.Pkg == nil {
 		return
 	}
-	for fn, s := range m.summary {
+	export := make(map[*types.Func]bool)
+	for fn := range m.summary {
+		export[fn] = true
+	}
+	for fn := range m.inflow {
+		export[fn] = true
+	}
+	for fn := range export {
 		if fn.Pkg() != m.pass.Pkg.Types || m.flows[fn] == nil {
 			continue
 		}
-		f := &uwChanFact{Params: make([][]string, len(s))}
+		n := fn.Type().(*types.Signature).Params().Len()
+		f := &uwChanFact{Params: make([][]string, n), Inflow: make([][]string, n)}
 		any := false
-		for i, set := range s {
+		for i, set := range m.summary[fn] {
 			for ch := range set {
 				f.Params[i] = append(f.Params[i], string(ch))
 				any = true
 			}
 			sort.Strings(f.Params[i])
+		}
+		for i, classes := range m.inflow[fn] {
+			if i >= n {
+				break
+			}
+			for c := range classes {
+				f.Inflow[i] = append(f.Inflow[i], c)
+				any = true
+			}
+			sort.Strings(f.Inflow[i])
 		}
 		if any {
 			m.pass.ExportObjectFact(fn, f)
@@ -702,6 +814,19 @@ func (m *uwModel) mergeSummary(fn *types.Func, param int, chans chanSet) bool {
 		s = make([]chanSet, sig.Params().Len())
 		m.summary[fn] = s
 	}
+	return mergeChanSet(s, param, chans)
+}
+
+func (m *uwModel) mergeLitSummary(flow *funcFlow, param int, chans chanSet) bool {
+	s := m.litSummary[flow.lit]
+	if s == nil {
+		s = make([]chanSet, flow.nparams)
+		m.litSummary[flow.lit] = s
+	}
+	return mergeChanSet(s, param, chans)
+}
+
+func mergeChanSet(s []chanSet, param int, chans chanSet) bool {
 	if param >= len(s) {
 		return false
 	}
@@ -729,6 +854,30 @@ func (m *uwModel) computeInflows() {
 		changed = false
 		for _, flow := range m.flowLst {
 			for _, site := range flow.sites {
+				// A call through a named function type feeds every
+				// candidate value of the type: the handler-table dispatch
+				// becomes inflow on each registered handler or literal.
+				if site.dyn != nil {
+					for _, cand := range m.funcVals[site.dyn] {
+						for j := range site.args {
+							classes := m.classesOf(flow, site.args[j])
+							if len(classes) == 0 {
+								continue
+							}
+							switch {
+							case cand.Lit != nil:
+								if m.mergeLitInflow(cand.Lit, j, classes) {
+									changed = true
+								}
+							case cand.Fn != nil && m.flows[cand.Fn] != nil:
+								if m.mergeInflow(cand.Fn, j, classes) {
+									changed = true
+								}
+							}
+						}
+					}
+					continue
+				}
 				callee := site.callee
 				if callee == nil || m.flows[callee] == nil {
 					continue
@@ -754,6 +903,23 @@ func (m *uwModel) mergeInflow(fn *types.Func, param int, classes classSet) bool 
 		s = make([]classSet, sig.Params().Len())
 		m.inflow[fn] = s
 	}
+	return mergeClassSet(s, param, classes)
+}
+
+func (m *uwModel) mergeLitInflow(lit *ast.FuncLit, param int, classes classSet) bool {
+	flow := m.litFlows[lit]
+	if flow == nil {
+		return false
+	}
+	s := m.litInflow[lit]
+	if s == nil {
+		s = make([]classSet, flow.nparams)
+		m.litInflow[lit] = s
+	}
+	return mergeClassSet(s, param, classes)
+}
+
+func mergeClassSet(s []classSet, param int, classes classSet) bool {
 	if param >= len(s) {
 		return false
 	}
@@ -785,7 +951,13 @@ func (m *uwModel) classesOf(flow *funcFlow, v valueSet) classSet {
 		if !ok {
 			continue
 		}
-		if in := m.inflow[flow.fn]; in != nil && pi < len(in) {
+		var in []classSet
+		if flow.fn != nil {
+			in = m.inflow[flow.fn]
+		} else if flow.lit != nil {
+			in = m.litInflow[flow.lit]
+		}
+		if in != nil && pi < len(in) {
 			for c := range in[pi] {
 				out[c] = true
 			}

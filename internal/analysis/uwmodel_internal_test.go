@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestInflowFactRoundTrip proves the Inflow half of uwChanFact survives
+// the export/import hop: bank.TickIt receives a marker word from a caller
+// inside its own package, and the fact handed to importing packages must
+// carry that class inflow next to the channel summary.
+func TestInflowFactRoundTrip(t *testing.T) {
+	pkgs, err := LoadTestdataPackages("testdata/src", "uwflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	facts := make(factStore)
+	allows := buildAllowIndex(pkgs)
+	var last *Pass
+	for _, pkg := range pkgs {
+		pass := &Pass{Analyzer: UWFlow, Fset: pkg.Fset, Pkg: pkg, All: pkgs, diags: &diags, facts: facts, allows: allows}
+		if err := UWFlow.Run(pass); err != nil {
+			t.Fatalf("uwflow over %s: %v", pkg.Types.Path(), err)
+		}
+		last = pass
+	}
+	var tickIt *types.Func
+	for _, pkg := range pkgs {
+		if pkg.Types.Name() == "bank" {
+			tickIt, _ = pkg.Types.Scope().Lookup("TickIt").(*types.Func)
+		}
+	}
+	if tickIt == nil {
+		t.Fatal("bank.TickIt not found in the load")
+	}
+	var f uwChanFact
+	if !last.ImportObjectFact(tickIt, &f) {
+		t.Fatal("no uwChanFact exported for bank.TickIt")
+	}
+	if len(f.Params) != 2 || len(f.Inflow) != 2 {
+		t.Fatalf("fact arity: Params=%d Inflow=%d, want 2 and 2", len(f.Params), len(f.Inflow))
+	}
+	if !hasString(f.Params[1], "exec") {
+		t.Errorf("Params[1] = %v, want it to carry \"exec\"", f.Params[1])
+	}
+	if !hasString(f.Inflow[1], "ClassMarker") {
+		t.Errorf("Inflow[1] = %v, want it to carry \"ClassMarker\"", f.Inflow[1])
+	}
+}
+
+// TestFuncValueModel white-boxes the function-value layer of the µflow
+// model over the uwvalueclean fixture: the closure registered in the
+// handler table gets a real summary, and dynSummary unions it with the
+// declared candidate's.
+func TestFuncValueModel(t *testing.T) {
+	pkgs, err := LoadTestdataPackages("testdata/src", "uwvalueclean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *Package
+	for _, p := range pkgs {
+		if p.Types.Name() == "uwvalueclean" {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatal("uwvalueclean package not found in the load")
+	}
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: UWFlow, Fset: target.Fset, Pkg: target, All: pkgs, diags: &diags, facts: make(factStore), allows: buildAllowIndex(pkgs)}
+	m := buildUWModel(pass, []*Package{target})
+
+	if len(m.litSummary) != 1 {
+		t.Fatalf("litSummary has %d entries, want 1 (the table closure)", len(m.litSummary))
+	}
+	for _, summ := range m.litSummary {
+		if len(summ) != 2 || !summ[1]["exec"] {
+			t.Errorf("closure summary = %v, want param 1 reaching exec", summ)
+		}
+	}
+
+	tn, _ := target.Types.Scope().Lookup("handler").(*types.TypeName)
+	if tn == nil {
+		t.Fatal("named function type handler not found")
+	}
+	summ := m.dynSummary(tn, false)
+	if len(summ) != 2 || !summ[1]["exec"] {
+		t.Errorf("dynSummary(handler) = %v, want param 1 reaching exec", summ)
+	}
+}
+
+func hasString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -194,7 +194,7 @@ func (c *Console) examine(va uint32, n int) {
 }
 
 func (c *Console) translate(va uint32) (uint32, error) {
-	return mmu.Translate(va, &c.m.MMU, c.m.Mem.ReadLong)
+	return mmu.Translate(va, &c.m.MMU, c.m.Mem)
 }
 
 func (c *Console) disasm(va uint32, n int) {

@@ -13,7 +13,7 @@ import (
 // page-table walk, independent of TB state.
 
 func (m *Machine) readVirtByte(va uint32) byte {
-	pa, err := mmu.Translate(va, &m.MMU, m.Mem.ReadLong)
+	pa, err := mmu.Translate(va, &m.MMU, m.Mem)
 	if err != nil {
 		m.fail("functional read at %#x: %v", va, err)
 		return 0
@@ -31,7 +31,7 @@ func (m *Machine) readVirt(va uint32, size int) uint64 {
 
 func (m *Machine) writeVirt(va uint32, size int, v uint64) {
 	for i := 0; i < size; i++ {
-		pa, err := mmu.Translate(va+uint32(i), &m.MMU, m.Mem.ReadLong)
+		pa, err := mmu.Translate(va+uint32(i), &m.MMU, m.Mem)
 		if err != nil {
 			m.fail("functional write at %#x: %v", va, err)
 			return
@@ -247,11 +247,12 @@ func (m *Machine) ibWait(n int, stallW uint16) {
 	}
 }
 
-// take consumes n I-stream bytes with a one-cycle dispatch at w.
+// take consumes n I-stream bytes with a one-cycle dispatch at w. The
+// result aliases the IB scratch buffer (see ibox.peek).
 func (m *Machine) take(w, stallW uint16, n int) []byte {
 	m.ibWait(n, stallW)
 	if m.runErr != nil {
-		return make([]byte, n)
+		return m.ib.zeroed(n)
 	}
 	b := m.ib.consume(n)
 	m.tick(w)
@@ -259,11 +260,12 @@ func (m *Machine) take(w, stallW uint16, n int) []byte {
 }
 
 // takeExtra consumes n further bytes that arrive with the same dispatch
-// (no additional cycle, but the wait can still IB-stall).
+// (no additional cycle, but the wait can still IB-stall). The result
+// aliases the IB scratch buffer (see ibox.peek).
 func (m *Machine) takeExtra(stallW uint16, n int) []byte {
 	m.ibWait(n, stallW)
 	if m.runErr != nil {
-		return make([]byte, n)
+		return m.ib.zeroed(n)
 	}
 	return m.ib.consume(n)
 }

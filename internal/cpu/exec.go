@@ -101,6 +101,7 @@ func (m *Machine) StepInstruction() {
 	// set (the architectural arithmetic trap).
 	if m.PSL&pswIV != 0 && m.PSL&vax.PSLV != 0 && !m.halted && m.runErr == nil && !m.instAborted {
 		m.PSL &^= vax.PSLV
+		//vaxlint:allow hotpath -- bounded: one 4-byte parameter slice per arithmetic trap (Table 7 event)
 		m.deliverException(SCBArithTrap, []uint32{arithIntOvf})
 	}
 	// Production microcode carries patches: a patched location costs one
@@ -250,7 +251,9 @@ func (m *Machine) deliverException(vec int, params []uint32) {
 		return
 	}
 	m.inExc = true
-	defer func() { m.inExc = false }()
+	// The flag is cleared on every exit below rather than in a defer: a
+	// deferred closure would allocate on each delivery, and pageFault runs
+	// on the TB-miss path the paper's Mem Mgmt rows time.
 	m.tick(uw.excEntry)
 	m.ticks(uw.excWork, 3)
 	savedPSL := m.PSL
@@ -263,10 +266,12 @@ func (m *Machine) deliverException(vec int, params []uint32) {
 	}
 	handler := m.readSCB(uw.excVec, uint16(vec))
 	if m.runErr != nil {
+		m.inExc = false
 		return
 	}
 	if handler == 0 {
 		m.fail("unhandled exception: SCB vector %#x empty (pc %#x)", vec, savedPC)
+		m.inExc = false
 		return
 	}
 	m.ticks(uw.excWork, 2)
@@ -274,13 +279,16 @@ func (m *Machine) deliverException(vec int, params []uint32) {
 	m.lastPCChange = true
 	m.instAborted = true // skip the remaining phases of the faulted instruction
 	m.exceptions++
+	m.inExc = false
 }
 
 func (m *Machine) pageFault(va uint32) {
+	//vaxlint:allow hotpath -- bounded: one 4-byte parameter slice per fault; delivery itself costs ~40 cycles
 	m.deliverException(SCBTransInval, []uint32{va})
 }
 
 func (m *Machine) memMgmtFault(va uint32, err error) {
+	//vaxlint:allow hotpath -- bounded: one 4-byte parameter slice per fault; delivery itself costs ~40 cycles
 	m.deliverException(SCBAccessViol, []uint32{va})
 }
 

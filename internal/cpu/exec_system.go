@@ -80,6 +80,7 @@ func init() {
 		pc := uint32(m.dread(uw.svpctxRead, m.R[vax.SP], 4))
 		psl := uint32(m.dread(uw.svpctxRead, m.R[vax.SP]+4, 4))
 		m.R[vax.SP] += 8
+		//vaxlint:allow hotpath -- cold: one closure per SVPCTX, a Table 7 context-switch event, not a per-cycle cost
 		store := func(slot int, v uint32) {
 			m.tick(uw.svpctxWork)
 			m.cacheWriteRef(uw.svpctxStore, pcb+PCBOffset(slot))
@@ -104,6 +105,7 @@ func init() {
 		m.tick(uw.ldpctxEntry)
 		m.ticks(uw.ldpctxWork, 3)
 		pcb := m.ipr[IPRSlotPCBB]
+		//vaxlint:allow hotpath -- cold: one closure per LDPCTX, a Table 7 context-switch event, not a per-cycle cost
 		load := func(slot int) uint32 {
 			// The PCB is addressed physically (PCBB is a physical address).
 			return m.readPhys(uw.ldpctxLoad, pcb+PCBOffset(slot))
@@ -171,7 +173,7 @@ func init() {
 		length := uint32(uint16(m.opVal(1)))
 		ok := true
 		for _, va := range []uint32{base, base + length - 1} {
-			if _, err := mmu.Translate(va, &m.MMU, m.Mem.ReadLong); err != nil {
+			if _, err := mmu.Translate(va, &m.MMU, m.Mem); err != nil {
 				ok = false
 			}
 		}

@@ -36,6 +36,13 @@ type ibox struct {
 	advanced uint64 // cycle up to which fill activity is simulated
 
 	stats IBStats
+
+	// scratch backs peek/consume. The decode hardware reads the IB
+	// combinationally, so the bytes handed out are valid only until the
+	// next peek/consume/zeroed call; callers fold them into values before
+	// touching the IB again (wideImmediate is the two-helping case).
+	// Reusing one array keeps the per-cycle decode path allocation-free.
+	scratch [ibSize]byte
 }
 
 const ibSize = 8
@@ -135,11 +142,24 @@ func (ib *ibox) translate(va uint32) (uint32, bool) {
 
 // peek returns n bytes of I-stream starting at ptr without consuming them
 // and without advancing time (the decode hardware sees the IB contents
-// combinationally). The caller must have ensured valid >= n.
+// combinationally). The caller must have ensured valid >= n; the result
+// aliases the IB scratch buffer and is invalidated by the next peek or
+// consume.
 func (ib *ibox) peek(n int) []byte {
-	out := make([]byte, n)
+	out := ib.scratch[:n]
 	for i := 0; i < n; i++ {
 		out[i] = ib.m.readVirtByte(ib.ptr + uint32(i))
+	}
+	return out
+}
+
+// zeroed returns n zero bytes from the scratch buffer: what an aborted
+// take hands back so partial readers see deterministic zeros, without
+// allocating on the failure path.
+func (ib *ibox) zeroed(n int) []byte {
+	out := ib.scratch[:n]
+	for i := range out {
+		out[i] = 0
 	}
 	return out
 }

@@ -304,6 +304,8 @@ func (m *Machine) SetWatchdog(cycles uint64) {
 // watchdogExpire stops the machine with a livelock diagnosis. The failure
 // µPC is the location the machine was stuck at; the error carries a state
 // dump taken at expiry.
+//
+//vaxlint:allow hotpath -- cold: fires at most once per run, at livelock diagnosis; the machine stops
 func (m *Machine) watchdogExpire() {
 	if m.runErr != nil {
 		return
@@ -414,6 +416,8 @@ func (m *Machine) Reason() HaltReason { return m.haltReason }
 // fail stops the machine with a structured *MachineError recording the
 // failing µPC and cycle. Once failed, further Steps are inert and the
 // first error sticks.
+//
+//vaxlint:allow hotpath -- cold: terminal failure path; the machine stops after the first error and further Steps are inert
 func (m *Machine) fail(format string, args ...any) {
 	if m.runErr == nil {
 		m.runErr = &MachineError{

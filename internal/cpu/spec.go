@@ -152,15 +152,20 @@ func (m *Machine) wideImmediate(bank *specBank, op *operand, os vax.OperandSpec)
 	op.spec = vax.Specifier{Mode: vax.ModeImmediate}
 	m.ib.consume(1) // the (PC)+ mode byte
 	m.tick(bank.dispatch[vax.ModeImmediate])
+	// Fold each longword into the value before the next IB interaction:
+	// takeExtra hands out the IB's scratch buffer, so the second helping
+	// overwrites the first.
 	lo := m.takeExtra(bank.stall, 4)
+	var v uint64
+	for i := 0; i < 4; i++ {
+		v |= uint64(lo[i]) << (8 * i)
+	}
 	m.tick(bank.immExtra)
 	hi := m.takeExtra(bank.stall, 4)
 	if m.runErr != nil {
 		return
 	}
-	var v uint64
 	for i := 0; i < 4; i++ {
-		v |= uint64(lo[i]) << (8 * i)
 		v |= uint64(hi[i]) << (32 + 8*i)
 	}
 	op.val = v

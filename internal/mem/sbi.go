@@ -157,7 +157,9 @@ func NewWriteBufferDepth(sbi *SBI, depth int) *WriteBuffer {
 	if depth < 1 {
 		depth = 1
 	}
-	return &WriteBuffer{sbi: sbi, depth: depth}
+	// Drain-time storage is preallocated at capacity: dropDrained keeps
+	// len ≤ depth, so the append in Write never grows the backing array.
+	return &WriteBuffer{sbi: sbi, depth: depth, drains: make([]uint64, 0, depth)}
 }
 
 // Depth returns the buffer capacity in longwords.
@@ -166,10 +168,7 @@ func (w *WriteBuffer) Depth() int { return w.depth }
 // Write attempts a write at cycle now. It returns the number of cycles the
 // EBOX must stall before the buffer accepts the data (0 on the fast path).
 func (w *WriteBuffer) Write(now uint64) (stall uint64) {
-	// Drop entries that have drained.
-	for len(w.drains) > 0 && w.drains[0] <= now {
-		w.drains = w.drains[1:]
-	}
+	w.dropDrained(now)
 	if len(w.drains) >= w.depth {
 		// Wait for the oldest buffered write to drain.
 		stall = w.drains[0] - now
@@ -177,12 +176,24 @@ func (w *WriteBuffer) Write(now uint64) (stall uint64) {
 		w.stats.StallCycles += stall
 	}
 	accepted := now + stall
-	for len(w.drains) > 0 && w.drains[0] <= accepted {
-		w.drains = w.drains[1:]
-	}
+	w.dropDrained(accepted)
+	//vaxlint:allow hotpath -- bounded: capacity depth is preallocated at construction and dropDrained keeps len < depth here, so this append never grows
 	w.drains = append(w.drains, w.sbi.Write(accepted))
 	w.stats.Writes++
 	return stall
+}
+
+// dropDrained removes entries that have drained by cycle now, compacting
+// in place so the slice keeps its preallocated backing array (re-slicing
+// the front away would shrink the capacity until append reallocates).
+func (w *WriteBuffer) dropDrained(now uint64) {
+	n := 0
+	for n < len(w.drains) && w.drains[n] <= now {
+		n++
+	}
+	if n > 0 {
+		w.drains = w.drains[:copy(w.drains, w.drains[n:])]
+	}
 }
 
 // FreeAt reports when the buffer fully drains; a write at or after this

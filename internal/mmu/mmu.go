@@ -108,6 +108,22 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("mmu: %s at va %#x (%s)", kinds[f.Kind], f.VA, f.Detail)
 }
 
+// fault builds the error for a failed translation. Kept out of line so the
+// walk's success path allocates nothing: every caller unwinds into the
+// fault-delivery microcode, which costs hundreds of cycles anyway.
+//
+//vaxlint:allow hotpath -- cold: runs only when a translation faults; the fault-delivery microcode dominates
+func fault(va uint32, kind FaultKind, detail string) error {
+	return &Fault{VA: va, Kind: kind, Detail: detail}
+}
+
+// LongReader reads an aligned longword of physical memory; the walk uses
+// it to fetch page-table entries. An interface (not a func value) so hot
+// callers can pass their memory array without binding a method closure.
+type LongReader interface {
+	ReadLong(pa uint32) uint32
+}
+
 // PTERef locates the page-table entry for a virtual address. For process
 // regions the PTE lives in system virtual space and its address must itself
 // be translated — the nested walk the real TB-miss microcode performs.
@@ -123,7 +139,7 @@ func (r *Registers) PTEAddr(va uint32) (PTERef, error) {
 	switch RegionOf(va) {
 	case P0:
 		if vpn >= r.P0LR {
-			return PTERef{}, &Fault{VA: va, Kind: FaultLength, Detail: "P0LR"}
+			return PTERef{}, fault(va, FaultLength, "P0LR")
 		}
 		return PTERef{Addr: r.P0BR + 4*vpn}, nil
 	case P1:
@@ -131,16 +147,16 @@ func (r *Registers) PTEAddr(va uint32) (PTERef, error) {
 		// P0 (the real VAX's downward-growing P1 offset arithmetic adds
 		// nothing to the performance behaviour measured by the paper).
 		if vpn >= r.P1LR {
-			return PTERef{}, &Fault{VA: va, Kind: FaultLength, Detail: "P1LR"}
+			return PTERef{}, fault(va, FaultLength, "P1LR")
 		}
 		return PTERef{Addr: r.P1BR + 4*vpn}, nil
 	case S0:
 		if vpn >= r.SLR {
-			return PTERef{}, &Fault{VA: va, Kind: FaultLength, Detail: "SLR"}
+			return PTERef{}, fault(va, FaultLength, "SLR")
 		}
 		return PTERef{Addr: r.SBR + 4*vpn, IsPhys: true}, nil
 	}
-	return PTERef{}, &Fault{VA: va, Kind: FaultRegion}
+	return PTERef{}, fault(va, FaultRegion, "VA bits 31:30 = 3")
 }
 
 // Translate performs a complete architectural translation of va using a
@@ -148,7 +164,7 @@ func (r *Registers) PTEAddr(va uint32) (PTERef, error) {
 // process-region addresses. It is the reference implementation used by the
 // loader, the console, and tests; the timed microcode routine in
 // internal/ebox performs the same steps as individual timed reads.
-func Translate(va uint32, r *Registers, readLong func(pa uint32) uint32) (uint32, error) {
+func Translate(va uint32, r *Registers, mem LongReader) (uint32, error) {
 	if !r.Enabled {
 		return va, nil
 	}
@@ -163,15 +179,15 @@ func Translate(va uint32, r *Registers, readLong func(pa uint32) uint32) (uint32
 		if err != nil {
 			return 0, err
 		}
-		sysPTE := readLong(sysRef.Addr)
+		sysPTE := mem.ReadLong(sysRef.Addr)
 		if !Valid(sysPTE) {
-			return 0, &Fault{VA: pteAddr, Kind: FaultInvalid, Detail: "system PTE for process page table"}
+			return 0, fault(pteAddr, FaultInvalid, "system PTE for process page table")
 		}
 		pteAddr = PFN(sysPTE)<<PageShift | (pteAddr & PageMask)
 	}
-	pte := readLong(pteAddr)
+	pte := mem.ReadLong(pteAddr)
 	if !Valid(pte) {
-		return 0, &Fault{VA: va, Kind: FaultInvalid, Detail: "page PTE"}
+		return 0, fault(va, FaultInvalid, "page PTE")
 	}
 	return PFN(pte)<<PageShift | (va & PageMask), nil
 }

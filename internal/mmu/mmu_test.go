@@ -64,7 +64,7 @@ func buildTables(t *testing.T, m *mem.Memory) *Registers {
 func TestTranslateSystemSpace(t *testing.T) {
 	m := mem.New(1 << 20)
 	r := buildTables(t, m)
-	pa, err := Translate(0x80000000+5*PageSize+7, r, m.ReadLong)
+	pa, err := Translate(0x80000000+5*PageSize+7, r, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestTranslateSystemSpace(t *testing.T) {
 func TestTranslateProcessSpaceNested(t *testing.T) {
 	m := mem.New(1 << 20)
 	r := buildTables(t, m)
-	pa, err := Translate(3*PageSize+9, r, m.ReadLong)
+	pa, err := Translate(3*PageSize+9, r, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,20 +89,20 @@ func TestTranslateFaults(t *testing.T) {
 	m := mem.New(1 << 20)
 	r := buildTables(t, m)
 	// Length violation: P0 vpn 16 >= P0LR.
-	if _, err := Translate(16*PageSize, r, m.ReadLong); err == nil {
+	if _, err := Translate(16*PageSize, r, m); err == nil {
 		t.Error("length violation not detected")
 	}
 	// Invalid PTE: clear a PTE.
 	m.WriteLong(uint32(100)*PageSize+4*2, 0)
-	if _, err := Translate(2*PageSize, r, m.ReadLong); err == nil {
+	if _, err := Translate(2*PageSize, r, m); err == nil {
 		t.Error("invalid PTE not detected")
 	}
 	// Reserved region.
-	if _, err := Translate(0xC0000000, r, m.ReadLong); err == nil {
+	if _, err := Translate(0xC0000000, r, m); err == nil {
 		t.Error("reserved region not detected")
 	}
 	// Fault message includes the VA.
-	_, err := Translate(16*PageSize, r, m.ReadLong)
+	_, err := Translate(16*PageSize, r, m)
 	if f, ok := err.(*Fault); !ok || f.Kind != FaultLength {
 		t.Errorf("err = %v, want length Fault", err)
 	}
@@ -121,7 +121,7 @@ func TestPropertyTranslatePreservesOffset(t *testing.T) {
 	r := buildTables(t, m)
 	f := func(page uint8, off uint16) bool {
 		va := 0x80000000 + uint32(page%200)*PageSize + uint32(off)&PageMask
-		pa, err := Translate(va, r, m.ReadLong)
+		pa, err := Translate(va, r, m)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"vax780/internal/cpu"
+)
+
+// stepAllocBudget is the per-instruction heap-allocation contract of the
+// stepping loop, measured in steady state (after boot and warmup). The
+// loop itself allocates nothing; what remains are the justified cold and
+// bounded slices the hotpath analyzer carries allows for — fault
+// parameter buffers, decimal-string scratch — which fire on a small
+// fraction of instructions. The bound is deliberately tight: the
+// measured rate is ~0.001 allocs/instruction, and a single new
+// allocation in the per-cycle path would land at 1.0 and fail every
+// profile at once.
+const stepAllocBudget = 0.05
+
+// TestStepAllocations pins the allocation behavior of the stepping loop
+// for all five workload profiles: prepare a session exactly as a real
+// measurement would (monitor attached), run past boot into steady state,
+// then meter StepInstruction directly.
+func TestStepAllocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is too slow for -short")
+	}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			s, err := Prepare(p, 1_000_000, cpu.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res := s.Run(200_000); res.Err != nil || res.Halted {
+				t.Fatalf("warmup: halted=%v err=%v", res.Halted, res.Err)
+			}
+			m := s.Machine()
+			avg := testing.AllocsPerRun(2000, func() {
+				m.StepInstruction()
+			})
+			if avg > stepAllocBudget {
+				t.Errorf("%s: %.4f allocs/instruction in steady state, budget %.2f",
+					p.Name, avg, stepAllocBudget)
+			}
+			t.Logf("%s: %.4f allocs/instruction", p.Name, avg)
+		})
+	}
+}
