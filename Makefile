@@ -12,9 +12,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint vaxlint sarif test race soak crash-consistency fuzz-smoke bench
+.PHONY: check build vet lint vaxlint sarif escape-truth test race soak farmsoak crash-consistency fuzz-smoke bench
 
-check: build vet vaxlint race soak crash-consistency fuzz-smoke
+check: build vet vaxlint escape-truth race soak farmsoak crash-consistency fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,14 @@ sarif:
 lint:
 	$(GO) run ./cmd/vaxlint -vet=false -json ./...
 
+# Escape ground truth: diff the hotpath analyzer's composite-literal
+# escape verdicts against `go build -gcflags=-m` over the real hot set;
+# drift in either direction — a stack claim the compiler refutes, or an
+# unpinned over-approximation — fails the gate (see
+# internal/analysis/escape_truth_test.go).
+escape-truth:
+	$(GO) test -run TestEscapeGroundTruth ./internal/analysis
+
 test:
 	$(GO) test ./...
 
@@ -45,6 +53,13 @@ race:
 # point firing; nothing worse than a machine check may come out.
 soak:
 	$(GO) test -run TestChaosSoak -race ./internal/fault
+
+# Farm soak: race-enabled chaos smoke over the fleet supervisor — workers
+# killed mid-sweep with the fault plane firing must leave the merged
+# histograms bit-identical to the unperturbed same-seed run, and killing
+# every worker must shed with causes instead of hanging.
+farmsoak:
+	$(GO) test -race -run 'TestFarmChaosRescue|TestFarmPoolExhaustion' ./internal/farm
 
 # Crash consistency: interrupt a checkpointed run, truncate the newest
 # snapshot generation (a simulated crash mid-write), resume, and require
@@ -61,7 +76,11 @@ fuzz-smoke:
 
 # Regenerate every table and figure of the paper (see bench_test.go),
 # then append a stepping-cost entry — cycles/sec, ns/cycle, allocs/cycle
-# per workload profile — to the committed BENCH_step.json ledger.
+# per workload profile — to the committed BENCH_step.json ledger, and a
+# fleet-throughput entry (merged cycles/sec across the worker pool, with
+# rescue/shed counts; one worker killed mid-sweep so the number covers
+# the rescue path) to BENCH_farm.json.
 bench:
 	$(GO) test -bench . -benchtime 1x
 	$(GO) run ./cmd/vaxbench -out BENCH_step.json
+	$(GO) run ./cmd/vaxbench -farm -chaos "1@3" -out BENCH_farm.json

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -25,8 +26,11 @@ import (
 // compiler's: it flags what *may* allocate, and the justified cold
 // slices — machine-check assembly, exception delivery, the HALT path —
 // are pruned with //vaxlint:allow hotpath on the function declaration
-// (see hotset.go) or excused per line. DESIGN.md §13 confronts the
-// approximation with `go build -gcflags=-m` ground truth.
+// (see hotset.go) or excused per line. TestEscapeGroundTruth (`make
+// escape-truth`, a named CI step) diffs the composite-literal half of
+// the judgment against `go build -gcflags=-m` over the real hot set and
+// fails on drift in either direction; DESIGN.md §13 documents the
+// contract and its pinned over-approximations.
 var HotPath = &Analyzer{
 	Name:        "hotpath",
 	Doc:         "nothing reachable from Machine.Step*/Run may allocate per cycle (make, escaping literals, closures, defer, append growth)",
@@ -79,35 +83,86 @@ func checkHotAlloc(pass *Pass, n *hotNode, stack []ast.Node, node ast.Node) {
 	}
 }
 
-// checkHotComposite flags the composite-literal shapes that reach the
-// heap: slice and map literals always carry a backing allocation (except
-// a slice literal ranged over in place, which the compiler keeps on the
-// stack); struct and array literals allocate only when their address is
-// taken, so plain value copies like `*op = operand{…}` stay silent.
-func checkHotComposite(pass *Pass, n *hotNode, stack []ast.Node, lit *ast.CompositeLit) {
-	t := n.pkg.Info.TypeOf(lit)
+// escVerdict is the analyzer's allocation claim for one composite literal.
+type escVerdict uint8
+
+const (
+	// escSilent: the literal is a plain value copy (struct or array, address
+	// never taken at the literal). The analyzer makes no allocation claim —
+	// if such a value heap-allocates it is through an interface conversion,
+	// which is hotbox's finding, anchored at the conversion.
+	escSilent escVerdict = iota
+	// escStack: the analyzer claims the backing storage stays on the stack
+	// (a slice literal ranged over in place).
+	escStack
+	// escHeap: the analyzer claims the literal allocates on the heap every
+	// cycle and reports it.
+	escHeap
+)
+
+// compositeEsc is one composite literal's verdict. pos is where the
+// analyzer reports (the `&` for an escaping &T{…}, the literal's start
+// otherwise); truthPos is where the compiler anchors its own verdict on
+// the same literal — the opening brace for a plain T{…}, the `&` for
+// &T{…} — which is what lets TestEscapeGroundTruth diff the two
+// judgments position-exactly against `go build -gcflags=-m`.
+type compositeEsc struct {
+	verdict  escVerdict
+	pos      token.Pos
+	truthPos token.Pos
+	kind     string // "slice", "map", "addr"; "" when silent
+}
+
+// compositeVerdict is the single escape judgment for composite literals,
+// shared by the analyzer (checkHotComposite reports its escHeap verdicts)
+// and by the compiler ground-truth diff (escape_truth_test.go), so the
+// contract the CI step checks is exactly the judgment the analyzer ships:
+// slice and map literals carry a backing allocation (except a slice
+// literal ranged over in place, which the compiler keeps on the stack);
+// struct and array literals allocate only when their address is taken, so
+// plain value copies like `*op = operand{…}` stay silent.
+func compositeVerdict(info *types.Info, parent ast.Node, lit *ast.CompositeLit) compositeEsc {
+	t := info.TypeOf(lit)
 	if t == nil {
-		return
-	}
-	parent := ast.Node(nil)
-	if len(stack) > 0 {
-		parent = stack[len(stack)-1]
+		return compositeEsc{verdict: escSilent, pos: lit.Pos(), truthPos: lit.Lbrace}
 	}
 	switch types.Unalias(t).Underlying().(type) {
 	case *types.Slice:
 		if rs, ok := parent.(*ast.RangeStmt); ok && ast.Unparen(rs.X) == ast.Expr(lit) {
-			return // ranged over in place: stack-allocated
+			return compositeEsc{verdict: escStack, pos: lit.Pos(), truthPos: lit.Lbrace, kind: "slice"}
 		}
-		pass.Reportf(lit.Pos(),
-			"hot path (%s): slice literal allocates its backing array per cycle", n.chain)
+		return compositeEsc{verdict: escHeap, pos: lit.Pos(), truthPos: lit.Lbrace, kind: "slice"}
 	case *types.Map:
-		pass.Reportf(lit.Pos(),
-			"hot path (%s): map literal allocates per cycle", n.chain)
+		return compositeEsc{verdict: escHeap, pos: lit.Pos(), truthPos: lit.Lbrace, kind: "map"}
 	case *types.Struct, *types.Array:
-		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
-			pass.Reportf(u.Pos(),
-				"hot path (%s): &%s{…} escapes to the heap per cycle; reuse a field on the machine", n.chain, compositeTypeName(t))
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			return compositeEsc{verdict: escHeap, pos: u.Pos(), truthPos: u.Pos(), kind: "addr"}
 		}
+	}
+	return compositeEsc{verdict: escSilent, pos: lit.Pos(), truthPos: lit.Lbrace}
+}
+
+// checkHotComposite reports the composite literals compositeVerdict judges
+// heap-bound.
+func checkHotComposite(pass *Pass, n *hotNode, stack []ast.Node, lit *ast.CompositeLit) {
+	parent := ast.Node(nil)
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	v := compositeVerdict(n.pkg.Info, parent, lit)
+	if v.verdict != escHeap {
+		return
+	}
+	switch v.kind {
+	case "slice":
+		pass.Reportf(v.pos,
+			"hot path (%s): slice literal allocates its backing array per cycle", n.chain)
+	case "map":
+		pass.Reportf(v.pos,
+			"hot path (%s): map literal allocates per cycle", n.chain)
+	case "addr":
+		pass.Reportf(v.pos,
+			"hot path (%s): &%s{…} escapes to the heap per cycle; reuse a field on the machine", n.chain, compositeTypeName(n.pkg.Info.TypeOf(lit)))
 	}
 }
 

@@ -65,6 +65,12 @@ var ErrBadVersion = errors.New("unsupported checkpoint format version")
 type Meta struct {
 	// Profile is the workload profile name (internal/workload.ByName).
 	Profile string
+	// Seed is the effective generation seed of the run's profile. Fleet
+	// runs (internal/farm) derive per-instance seeds from the registry
+	// profile, so the name alone under-identifies the run; resume honors
+	// this field over the registry seed. Zero (snapshots predating the
+	// field — gob leaves absent fields zero) means the registry default.
+	Seed int64
 	// TotalCycles is the run's full cycle budget; Cycle is how far the
 	// checkpointed run had progressed. Cycle >= TotalCycles marks a
 	// completed run (kept so a composite resume can reload finished

@@ -12,7 +12,21 @@ import (
 // parameters, not the store layout) and is what the reduction engine in
 // internal/core interprets, just as the paper's analysts interpreted the
 // real microcode listing.
+//
+// CS is sealed (ucode.Store.Seal) once the last microword below is
+// defined, making every lookup race-free by construction: a fleet of
+// machines stepping on separate goroutines (internal/farm) reads this one
+// store; nothing per-machine is rebuilt.
 var CS = ucode.NewStore()
+
+// csSealed freezes CS after the uw table — whose initialization performs
+// every Define — is built; referencing uw makes the dependency explicit
+// so the initializer order cannot regress.
+var csSealed = func() bool {
+	_ = uw
+	CS.Seal()
+	return true
+}()
 
 func def(name string, row ucode.Row, class ucode.Class) uint16 {
 	return CS.Define(name, row, class)

@@ -1,0 +1,547 @@
+// Package farm is the fleet supervisor: it shards N machine-instances
+// across W worker goroutines, runs each through the supervised
+// checkpoint/resume path of internal/workload, and merges the per-worker
+// local histograms into one composite in a deterministic order.
+//
+// The paper characterized one VAX-11/780 over five hours of live traffic
+// (§2.2); this package's job is the scaled-up equivalent — thousands of
+// simulated 780s measured in parallel — and at that scale the harness
+// itself must survive partial failure. The invariant everything here
+// defends: partial failure must never silently bias the merged
+// histograms. A worker panic becomes a typed error and a retried
+// instance; a killed worker's in-flight instance is rescued — resumed
+// from its newest checkpoint generation on a surviving worker, which is
+// bit-identical to never having been disturbed (the checkpoint layer's
+// proven contract); sustained failure sheds instances into an explicit
+// outcome ledger instead of merging partial counts; and farm-wide
+// interruption checkpoints every live instance for a later resume.
+// TestFarmChaosRescue holds the whole stack to that invariant under
+// -race, with workers dying mid-sweep and the fault plane active.
+package farm
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vax780/internal/core"
+	"vax780/internal/cpu"
+	"vax780/internal/fault"
+	"vax780/internal/workload"
+)
+
+// SeedStride separates consecutive instances' generation seeds. It must
+// dodge the per-process offset inside one instance (base + proc*1000,
+// proc < 6), so two instances can never generate an identical program:
+// being coprime to 1000 and larger than any in-instance span does it.
+const SeedStride = 1_000_003
+
+// Kill scripts a chaos event: worker Worker dies after its AfterChunks-th
+// checkpoint chunk (cumulative across the instances it runs). Chunk
+// boundaries are the only points where the supervised run loop re-enters
+// farm code, so they are where death can land mid-instance.
+type Kill struct {
+	Worker      int
+	AfterChunks int
+}
+
+// ParseKills parses a chaos script of "worker@chunk" pairs ("0@5,2@9"),
+// the spelling both vaxfarm -chaos and vaxbench -chaos accept.
+func ParseKills(spec string) ([]Kill, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var kills []Kill
+	for _, field := range strings.Split(spec, ",") {
+		w, after, ok := strings.Cut(strings.TrimSpace(field), "@")
+		if !ok {
+			return nil, fmt.Errorf(`farm: bad chaos field %q: want "worker@chunk"`, field)
+		}
+		wi, err1 := strconv.Atoi(w)
+		ai, err2 := strconv.Atoi(after)
+		if err1 != nil || err2 != nil || ai <= 0 {
+			return nil, fmt.Errorf(`farm: bad chaos field %q: want "worker@chunk" with positive chunk`, field)
+		}
+		kills = append(kills, Kill{Worker: wi, AfterChunks: ai})
+	}
+	return kills, nil
+}
+
+// Config sizes and shapes a farm. The zero value of every optional field
+// picks a documented default.
+type Config struct {
+	// Instances is the number of machine-instances to measure (required).
+	// Instance i runs profile Profiles[i%len(Profiles)] with generation
+	// seed derived as registry seed + i*SeedStride, so every instance is
+	// a distinct, deterministically reconstructible measurement.
+	Instances int
+	// Workers is the worker-pool width (default 4).
+	Workers int
+	// Cycles is the per-instance cycle budget (required).
+	Cycles uint64
+	// Profiles names the workload rotation (default: all five of §2.2).
+	Profiles []string
+	// Machine configures every instance's machine.
+	Machine cpu.Config
+	// Fault, when set, attaches a fault-injection plane to every
+	// instance, with the stream seed decorrelated per instance (nil =
+	// clean runs).
+	Fault *fault.Config
+	// Root, when set, is the durable state directory: per-instance
+	// checkpoint generations and completed results live under it, and
+	// a farm.json manifest makes the whole farm resumable with Resume.
+	// Empty keeps everything in memory — rescue then restarts instances
+	// from cycle zero instead of their newest checkpoint.
+	Root string
+	// CheckpointEvery is the per-instance checkpoint period in cycles
+	// (workload.DefaultCheckpointEvery when zero).
+	CheckpointEvery uint64
+	// Watchdog is the per-instance progress watchdog budget in cycles
+	// (workload.DefaultWatchdogCycles when zero): a wedged instance
+	// becomes a typed failure, not a stuck worker.
+	Watchdog uint64
+	// Retries caps how many times one instance is re-attempted after a
+	// failure before it is shed (default 2). Rescues after worker death
+	// do not count against it — they are the farm's fault.
+	Retries int
+	// FailureBudget caps total failed attempts across the farm; past it
+	// every further failure sheds its instance immediately (graceful
+	// degradation instead of retry storms). Default: Instances.
+	FailureBudget int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// before a failed instance is retried (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Deadline bounds the farm's wall-clock time (none when zero); an
+	// expired deadline checkpoints every live instance and returns
+	// *Interrupted, exactly like a signal.
+	Deadline time.Duration
+	// Kills scripts worker deaths for chaos runs and tests.
+	Kills []Kill
+}
+
+// normalized fills defaults into a copy of the config.
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if len(c.Profiles) == 0 {
+		for _, p := range workload.All() {
+			c.Profiles = append(c.Profiles, p.Name)
+		}
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = workload.DefaultCheckpointEvery
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.FailureBudget == 0 {
+		c.FailureBudget = c.Instances
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 2 * time.Second
+	}
+	return c
+}
+
+// instance is one machine-instance's slot in the farm: its derived
+// workload, durable locations, and running ledger fields. All mutation
+// happens on the coordinator goroutine; workers only read the immutable
+// identity fields (id, profIdx, prof, fcfg, dir, cycles).
+type instance struct {
+	id      int
+	profIdx int // index into the farm's profile rotation
+	prof    workload.Profile
+	fcfg    *fault.Config
+	dir     string // durable directory ("" without a Root)
+	cycles  uint64
+
+	status   Status
+	attempts int
+	rescues  int
+	cause    string
+	cycle    uint64
+}
+
+// ProfileSum is one profile's share of the merge.
+type ProfileSum struct {
+	Name      string
+	Hist      *core.Histogram
+	Instances int // completed instances contributing
+}
+
+// Result is what a farm run produced: the merged composite, the same
+// counts split by profile, and the per-instance outcome ledger.
+type Result struct {
+	Merged    *core.Histogram
+	ByProfile []ProfileSum
+	Ledger    []Outcome
+	Completed int // includes rescued
+	Rescued   int
+	Shed      int
+	Paused    int
+	Failures  int // failed attempts observed (retried or shed)
+	Lost      int // workers dead at the end
+	Cycles    uint64 // cycles contributed to the merge
+}
+
+// Farm is a configured fleet. Build one with New (or Resume), run it
+// once with Run.
+type Farm struct {
+	cfg      Config
+	profiles []workload.Profile
+	insts    []*instance
+	kills    []atomic.Bool // runtime kill switches, one per worker
+	ran      atomic.Bool
+}
+
+// New validates and prepares a farm.
+func New(cfg Config) (*Farm, error) {
+	cfg = cfg.normalized()
+	if cfg.Instances <= 0 {
+		return nil, fmt.Errorf("farm: Instances must be positive, got %d", cfg.Instances)
+	}
+	if cfg.Cycles == 0 {
+		return nil, fmt.Errorf("farm: Cycles must be positive")
+	}
+	f := &Farm{cfg: cfg, kills: make([]atomic.Bool, cfg.Workers)}
+	for _, name := range cfg.Profiles {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("farm: unknown workload profile %q", name)
+		}
+		f.profiles = append(f.profiles, p)
+	}
+	for _, k := range cfg.Kills {
+		if k.Worker < 0 || k.Worker >= cfg.Workers {
+			return nil, fmt.Errorf("farm: kill targets worker %d of %d", k.Worker, cfg.Workers)
+		}
+	}
+	for i := 0; i < cfg.Instances; i++ {
+		f.insts = append(f.insts, f.deriveInstance(i))
+	}
+	return f, nil
+}
+
+// deriveInstance builds instance i's identity. The derivation is pure in
+// (Config, i): resuming a farm from its manifest reconstructs the exact
+// same instances.
+func (f *Farm) deriveInstance(i int) *instance {
+	profIdx := i % len(f.profiles)
+	p := f.profiles[profIdx]
+	p.Seed += int64(i) * SeedStride
+	var fc *fault.Config
+	if f.cfg.Fault != nil {
+		c := *f.cfg.Fault
+		// Decorrelate the instance's injection streams the same way the
+		// plane decorrelates its per-point streams from one seed.
+		c.Seed += uint64(i) * 0x9E3779B97F4A7C15
+		fc = &c
+	}
+	return &instance{
+		id:      i,
+		profIdx: profIdx,
+		prof:    p,
+		fcfg:    fc,
+		dir:     instanceDir(f.cfg.Root, i),
+		cycles:  f.cfg.Cycles,
+		status:  StatusPending,
+	}
+}
+
+// KillWorker arms worker w's kill switch: it dies at its next chunk
+// boundary, abandoning its in-flight instance to rescue. Safe to call
+// from any goroutine while Run is in flight — it is the demo/chaos
+// entry point, not part of the measurement path.
+func (f *Farm) KillWorker(w int) error {
+	if w < 0 || w >= len(f.kills) {
+		return fmt.Errorf("farm: no worker %d (pool of %d)", w, len(f.kills))
+	}
+	f.kills[w].Store(true)
+	return nil
+}
+
+// delayedRetry is a failed instance waiting out its backoff.
+type delayedRetry struct {
+	at   time.Time
+	inst *instance
+}
+
+// Run executes the farm to drain: every instance completed, shed, or
+// paused. It returns the merged result together with a typed error for
+// the two non-clean endings — *Interrupted (resumable pause) and
+// *PoolExhausted (every worker died). The Result is meaningful in all
+// three cases; the ledger says exactly which instances stand where.
+func (f *Farm) Run(ctx context.Context) (*Result, error) {
+	if f.ran.Swap(true) {
+		return nil, fmt.Errorf("farm: Run called twice on one Farm")
+	}
+	cfg := f.cfg
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+
+	resumed := make([]*core.Histogram, len(f.profiles))
+	for i := range resumed {
+		resumed[i] = &core.Histogram{}
+	}
+	var resumedCycles uint64
+	var queue []*instance
+	if cfg.Root != "" {
+		if err := writeManifest(cfg.Root, cfg); err != nil {
+			return nil, err
+		}
+	}
+	for _, inst := range f.insts {
+		// Classify what an earlier run already finished: a persisted
+		// result short-circuits the instance; anything else re-runs
+		// (from its newest checkpoint, if it has one).
+		if hist, meta, err := loadResult(inst.dir); err != nil {
+			return nil, err
+		} else if hist != nil {
+			inst.status = StatusCompleted
+			inst.cycle = meta.Cycles
+			resumed[inst.profIdx].Add(hist)
+			resumedCycles += meta.Cycles
+			continue
+		}
+		queue = append(queue, inst)
+	}
+
+	dispatch := make(chan *instance)
+	events := make(chan event)
+	var wg sync.WaitGroup
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = newWorker(i, f, ctx, dispatch, events, &wg)
+		wg.Add(1)
+		go workers[i].loop()
+	}
+
+	var (
+		outstanding int
+		live        = cfg.Workers
+		failures    int
+		delayed     []delayedRetry
+		paused      bool
+		pauseCause  error
+	)
+	shed := func(inst *instance, cause string, cycle uint64) {
+		inst.status = StatusShed
+		inst.cause = cause
+		inst.cycle = cycle
+	}
+	pause := func(inst *instance, cause string, cycle uint64) {
+		inst.status = StatusPaused
+		inst.cause = cause
+		inst.cycle = cycle
+	}
+	// parkQueued empties the queue and the backoff pen into a terminal
+	// state — paused on interruption, shed on pool exhaustion.
+	parkQueued := func(park func(*instance, string, uint64), cause string) {
+		for _, inst := range queue {
+			park(inst, cause, inst.cycle)
+		}
+		for _, d := range delayed {
+			park(d.inst, cause, d.inst.cycle)
+		}
+		queue, delayed = nil, nil
+	}
+
+	for {
+		if live == 0 && outstanding == 0 && len(queue)+len(delayed) > 0 {
+			parkQueued(shed, "no workers left")
+		}
+		if outstanding == 0 && len(queue) == 0 && len(delayed) == 0 {
+			break
+		}
+		var dispatchCh chan *instance
+		if !paused && live > 0 && len(queue) > 0 {
+			dispatchCh = dispatch
+		}
+		var timerC <-chan time.Time
+		if !paused && len(delayed) > 0 {
+			next := delayed[0].at
+			for _, d := range delayed[1:] {
+				if d.at.Before(next) {
+					next = d.at
+				}
+			}
+			timerC = time.After(time.Until(next))
+		}
+		var doneC <-chan struct{}
+		if !paused {
+			doneC = ctx.Done()
+		}
+
+		select {
+		case dispatchCh <- peek(queue):
+			inst := queue[0]
+			queue = queue[1:]
+			inst.status = StatusRunning
+			inst.attempts++
+			outstanding++
+
+		case now := <-timerC:
+			rest := delayed[:0]
+			for _, d := range delayed {
+				if !d.at.After(now) {
+					queue = append(queue, d.inst)
+				} else {
+					rest = append(rest, d)
+				}
+			}
+			delayed = rest
+
+		case <-doneC:
+			paused = true
+			pauseCause = ctx.Err()
+			parkQueued(pause, fmt.Sprintf("farm interrupted before start: %v", pauseCause))
+
+		case ev := <-events:
+			outstanding--
+			switch ev.kind {
+			case evCompleted:
+				if ev.inst.rescues > 0 || ev.inst.attempts > 1 {
+					ev.inst.status = StatusRescued
+				} else {
+					ev.inst.status = StatusCompleted
+				}
+				ev.inst.cycle = ev.cycles
+
+			case evPaused:
+				pause(ev.inst, ev.err.Error(), ev.cycles)
+
+			case evFailed:
+				failures++
+				switch {
+				case paused:
+					// No retries during a pause drain; the resume gets
+					// a fresh attempt allowance anyway.
+					pause(ev.inst, ev.err.Error(), ev.cycles)
+				case ev.inst.attempts > cfg.Retries:
+					shed(ev.inst, fmt.Sprintf("retries exhausted: %v", ev.err), ev.cycles)
+				case failures > cfg.FailureBudget:
+					shed(ev.inst, fmt.Sprintf("failure budget exhausted: %v", ev.err), ev.cycles)
+				default:
+					ev.inst.status = StatusPending
+					ev.inst.cycle = ev.cycles
+					delay := backoff(cfg.BackoffBase, cfg.BackoffCap, ev.inst.attempts)
+					delayed = append(delayed, delayedRetry{at: time.Now().Add(delay), inst: ev.inst})
+				}
+
+			case evDied:
+				live--
+				ev.inst.rescues++
+				ev.inst.cycle = ev.cycles
+				switch {
+				case paused:
+					pause(ev.inst, fmt.Sprintf("worker %d died during pause drain", ev.worker), ev.cycles)
+				case live == 0:
+					shed(ev.inst, fmt.Sprintf("worker %d died with no survivors", ev.worker), ev.cycles)
+				default:
+					// Rescue: head of the queue, no backoff — the
+					// instance did nothing wrong, and its newest
+					// checkpoint generation is ready on disk.
+					ev.inst.status = StatusPending
+					queue = append([]*instance{ev.inst}, queue...)
+				}
+			}
+		}
+	}
+	close(dispatch)
+	wg.Wait()
+
+	res := f.merge(workers, resumed, resumedCycles)
+	res.Failures = failures
+	res.Lost = cfg.Workers - live
+	if paused {
+		return res, &Interrupted{Cause: pauseCause, Root: cfg.Root, Paused: res.Paused}
+	}
+	if live == 0 && res.Shed > 0 {
+		return res, &PoolExhausted{Dead: cfg.Workers, Shed: res.Shed}
+	}
+	return res, nil
+}
+
+// peek returns the queue head without popping (nil on empty, which only
+// feeds a disabled select case).
+func peek(queue []*instance) *instance {
+	if len(queue) == 0 {
+		return nil
+	}
+	return queue[0]
+}
+
+// backoff is the capped exponential retry delay for attempt n (1-based).
+func backoff(base, cap time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// merge folds the per-worker local stores into per-profile sums and one
+// composite, in (profile, resumed-then-worker-index) order. Every
+// addition is a uint64 add or a bit-OR (core.Histogram.Add), so the sum
+// is independent of which worker ran what — the property the merge
+// determinism tests pin down.
+func (f *Farm) merge(workers []*worker, resumed []*core.Histogram, resumedCycles uint64) *Result {
+	res := &Result{Merged: &core.Histogram{}, Cycles: resumedCycles}
+	for pi := range f.profiles {
+		sum := &core.Histogram{}
+		sum.Add(resumed[pi])
+		for _, w := range workers {
+			sum.Add(w.local[pi])
+		}
+		res.ByProfile = append(res.ByProfile, ProfileSum{Name: f.profiles[pi].Name, Hist: sum})
+		res.Merged.Add(sum)
+	}
+	for _, inst := range f.insts {
+		o := Outcome{
+			ID:       inst.id,
+			Profile:  inst.prof.Name,
+			Status:   inst.status,
+			Attempts: inst.attempts,
+			Rescues:  inst.rescues,
+			Cause:    inst.cause,
+			Cycle:    inst.cycle,
+		}
+		res.Ledger = append(res.Ledger, o)
+		switch inst.status {
+		case StatusCompleted:
+			res.Completed++
+			res.ByProfile[inst.profIdx].Instances++
+		case StatusRescued:
+			res.Completed++
+			res.Rescued++
+			res.ByProfile[inst.profIdx].Instances++
+		case StatusShed:
+			res.Shed++
+		case StatusPaused:
+			res.Paused++
+		case StatusPending, StatusRunning, NumStatuses:
+			// Unreachable after drain; keep the enum switch exhaustive.
+		}
+		if inst.status == StatusCompleted || inst.status == StatusRescued {
+			if inst.attempts > 0 { // freshly run this Run, not preloaded
+				res.Cycles += inst.cycle
+			}
+		}
+	}
+	return res
+}

@@ -127,9 +127,17 @@ type Word struct {
 
 // Store is the control-store map. Addresses are allocated sequentially
 // from 1 (address 0 is reserved so that a zero µPC is always invalid).
+//
+// A Store has two phases. While open, Define allocates locations; once
+// Seal is called the map is immutable and every read-side method
+// (Word, Lookup, MustLookup, Words, Listing) is safe for unsynchronized
+// use from any number of goroutines — the property the fleet supervisor
+// (internal/farm) relies on to share one control store across thousands
+// of concurrently stepping machines instead of building one per machine.
 type Store struct {
 	words  []Word
 	byName map[string]uint16
+	sealed bool
 }
 
 // NewStore returns an empty control store map.
@@ -144,6 +152,9 @@ func NewStore() *Store {
 // they are structured dot-paths (e.g. "spec1.mode.(Rn)+.read") that the
 // reduction engine keys on.
 func (s *Store) Define(name string, row Row, class Class) uint16 {
+	if s.sealed {
+		panic(fmt.Sprintf("ucode: Define(%q) on a sealed control store", name))
+	}
 	if prev, dup := s.byName[name]; dup {
 		panic(fmt.Sprintf("ucode: duplicate microword name %q (already at µPC %#04x)", name, prev))
 	}
@@ -158,6 +169,15 @@ func (s *Store) Define(name string, row Row, class Class) uint16 {
 	s.byName[name] = addr
 	return addr
 }
+
+// Seal freezes the store: further Define calls panic, and all read-side
+// methods become safe for concurrent use. Sealing twice is a no-op, so a
+// package that builds its store in init can seal it from a package-level
+// initializer without coordinating with tests that re-run init paths.
+func (s *Store) Seal() { s.sealed = true }
+
+// Sealed reports whether the store has been frozen by Seal.
+func (s *Store) Sealed() bool { return s.sealed }
 
 // Len returns the number of defined locations (including the reserved
 // location 0).

@@ -38,6 +38,35 @@ func TestDuplicatePanics(t *testing.T) {
 	s.Define("x", RowSimple, ClassCompute)
 }
 
+// TestSealFreezesStore pins the two-phase contract the fleet supervisor
+// relies on: after Seal, Define panics (no writer can appear once readers
+// share the store across goroutines), every read-side method still works,
+// and sealing again is a no-op.
+func TestSealFreezesStore(t *testing.T) {
+	s := NewStore()
+	a := s.Define("ird", RowDecode, ClassDispatch)
+	if s.Sealed() {
+		t.Fatal("new store reports sealed")
+	}
+	s.Seal()
+	s.Seal() // double seal must be a no-op
+	if !s.Sealed() {
+		t.Fatal("Sealed() = false after Seal")
+	}
+	if got := s.MustLookup("ird"); got != a {
+		t.Errorf("MustLookup after seal = %d, want %d", got, a)
+	}
+	if s.Word(a).Name != "ird" || s.Len() != 2 || s.Listing() == "" {
+		t.Error("read-side methods broken by Seal")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Define on a sealed store should panic")
+		}
+	}()
+	s.Define("late", RowSimple, ClassCompute)
+}
+
 func TestUndefinedWord(t *testing.T) {
 	s := NewStore()
 	w := s.Word(9999)

@@ -1,0 +1,56 @@
+package vmos
+
+import (
+	"fmt"
+	"sync"
+
+	"vax780/internal/asm"
+)
+
+// The assembled-kernel cache. The kernel source is a deterministic
+// function of the few Config fields interpolated into it (reschedule
+// interval, process-table size, machine-check budget), so systems built
+// from equal configurations assemble byte-identical kernels. Assembling
+// once per distinct source and sharing the immutable *asm.Image makes
+// booting the ten-thousandth machine of a fleet (internal/farm) as cheap
+// as copying the kernel bytes into its memory: Boot only ever reads the
+// image (Org, Bytes, label addresses), never writes it.
+//
+// The cache is bounded: kernel sources vary only with a handful of small
+// integers, so in practice it holds a few entries; the cap is a guard
+// against a pathological caller sweeping MaxProcesses, not a working-set
+// tuning knob.
+var kernCache = struct {
+	sync.Mutex
+	bySource map[string]*asm.Image
+}{bySource: make(map[string]*asm.Image)}
+
+const kernCacheCap = 64
+
+// assembleKernel returns the shared assembled image for one kernel
+// source, assembling it on first use. The returned image is shared and
+// must be treated as read-only.
+func assembleKernel(org uint32, source string) (*asm.Image, error) {
+	key := fmt.Sprintf("%#x\x00%s", org, source)
+	kernCache.Lock()
+	im, ok := kernCache.bySource[key]
+	kernCache.Unlock()
+	if ok {
+		return im, nil
+	}
+	// Assemble outside the lock: a fleet booting W workers concurrently
+	// must not serialize every boot behind one assembly. Two goroutines
+	// may race to fill the same key; both images are identical
+	// (assembly is deterministic), so last-write-wins is harmless.
+	im, err := asm.Assemble(org, source)
+	if err != nil {
+		return nil, err
+	}
+	kernCache.Lock()
+	if len(kernCache.bySource) >= kernCacheCap {
+		kernCache.bySource = make(map[string]*asm.Image)
+	}
+	kernCache.bySource[key] = im
+	kernCache.Unlock()
+	return im, nil
+}

@@ -1,0 +1,51 @@
+package vmos
+
+import (
+	"bytes"
+	"testing"
+
+	"vax780/internal/asm"
+)
+
+// TestKernelCacheMatchesFresh pins the sharing argument: the cached
+// kernel image is byte-identical to a direct assembly of the same
+// source, and repeat boots of the same configuration share one image.
+func TestKernelCacheMatchesFresh(t *testing.T) {
+	s := NewSystem(Config{})
+	src := s.kernelSource()
+
+	cached, err := assembleKernel(S0Base+kernPhys, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := asm.Assemble(S0Base+kernPhys, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Org != fresh.Org || !bytes.Equal(cached.Bytes, fresh.Bytes) {
+		t.Fatalf("cached kernel differs from fresh assembly: org %#x vs %#x, %d vs %d bytes",
+			cached.Org, fresh.Org, len(cached.Bytes), len(fresh.Bytes))
+	}
+	again, err := assembleKernel(S0Base+kernPhys, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cached {
+		t.Error("second assembleKernel reassembled instead of sharing")
+	}
+
+	// A different configuration yields a different source, a cache miss,
+	// and a different kernel.
+	s2 := NewSystem(Config{ReschedTicks: 7})
+	src2 := s2.kernelSource()
+	if src2 == src {
+		t.Fatal("distinct configs produced identical kernel source; key is degenerate")
+	}
+	im2, err := assembleKernel(S0Base+kernPhys, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im2 == cached {
+		t.Error("distinct kernel sources share one image")
+	}
+}

@@ -260,7 +260,7 @@ func (s *System) Boot() error {
 	}
 
 	// Kernel.
-	kern, err := asm.Assemble(S0Base+kernPhys, s.kernelSource())
+	kern, err := assembleKernel(S0Base+kernPhys, s.kernelSource())
 	if err != nil {
 		return fmt.Errorf("vmos: kernel assembly: %w", err)
 	}

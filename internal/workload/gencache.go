@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"sync"
+
+	"vax780/internal/asm"
+)
+
+// The generated-program cache. Generation is deterministic in GenConfig
+// (a comparable value: mix weights, geometry, seed), and the consumer —
+// vmos.AddProcess — only copies the image bytes into machine memory, so
+// one shared immutable *asm.Image can back any number of processes. The
+// win is mass construction and re-construction: a fleet (internal/farm)
+// rebuilding an instance after a worker death, or a checkpoint resume
+// rebuilding its session, pays generation and assembly once per distinct
+// program instead of once per attempt.
+var genCache = struct {
+	sync.Mutex
+	byConfig map[GenConfig]*asm.Image
+}{byConfig: make(map[GenConfig]*asm.Image)}
+
+// genCacheCap bounds the cache for sweeps over many distinct seeds; a
+// full cache is dropped wholesale rather than evicted piecemeal, since
+// regeneration is cheap and the common fleet case (retries and rescues
+// of a bounded instance set) never gets near the cap.
+const genCacheCap = 4096
+
+// generateShared returns the shared generated image for one
+// configuration, generating it on first use. The returned image is
+// shared and must be treated as read-only.
+func generateShared(cfg GenConfig) (*asm.Image, error) {
+	genCache.Lock()
+	im, ok := genCache.byConfig[cfg]
+	genCache.Unlock()
+	if ok {
+		return im, nil
+	}
+	// Generate outside the lock so concurrent workers building different
+	// programs don't serialize; duplicate fills for the same key are
+	// byte-identical, so last-write-wins is harmless.
+	im, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	genCache.Lock()
+	if len(genCache.byConfig) >= genCacheCap {
+		genCache.byConfig = make(map[GenConfig]*asm.Image)
+	}
+	genCache.byConfig[cfg] = im
+	genCache.Unlock()
+	return im, nil
+}

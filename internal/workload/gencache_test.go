@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGenerateSharedMatchesFresh pins the cache's only safety argument:
+// the shared image is byte-identical to a fresh generation of the same
+// configuration, and repeat lookups return the same image rather than
+// regenerating.
+func TestGenerateSharedMatchesFresh(t *testing.T) {
+	cfg := GenConfig{Mix: Mix{ALU: 1, Branchy: 0.5, Call: 0.25}, Blocks: 24, Seed: 42}
+
+	cached, err := generateShared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Org != fresh.Org || !bytes.Equal(cached.Bytes, fresh.Bytes) {
+		t.Fatalf("cached image differs from fresh generation: org %#x vs %#x, %d vs %d bytes",
+			cached.Org, fresh.Org, len(cached.Bytes), len(fresh.Bytes))
+	}
+	again, err := generateShared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cached {
+		t.Error("second generateShared regenerated instead of sharing")
+	}
+
+	// A different seed must miss the cache and produce a different program.
+	other := cfg
+	other.Seed = 43
+	im, err := generateShared(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im == cached || bytes.Equal(im.Bytes, cached.Bytes) {
+		t.Error("distinct configurations share one image")
+	}
+}

@@ -57,7 +57,7 @@ func build(p Profile, cycles uint64, mcfg cpu.Config, plane *fault.Plane) (*sess
 	sys.Machine().AttachFaultPlane(plane)
 
 	for i := 0; i < p.Procs; i++ {
-		im, err := Generate(GenConfig{
+		im, err := generateShared(GenConfig{
 			Mix:       p.Mix,
 			Blocks:    p.Blocks,
 			LoopIter:  p.LoopIter,

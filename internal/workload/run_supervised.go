@@ -70,6 +70,16 @@ type Supervisor struct {
 	// (with a final checkpoint) once the machine reaches that cycle —
 	// a deterministic interruption point for staged runs and tests.
 	StopAt uint64
+	// OnChunk, when set, is called after each executed run slice with
+	// the machine's current cycle, before that slice's checkpoint is
+	// written. It gives a supervision layer above this one
+	// (internal/farm) a low-rate re-entry point into a running
+	// instance: worker kill switches, health accounting. A panic out
+	// of OnChunk unwinds through supervise without writing a final
+	// checkpoint, so to everything downstream it is indistinguishable
+	// from the worker dying at that cycle — exactly the semantics a
+	// hard-death chaos test needs.
+	OnChunk func(cycle uint64)
 }
 
 // Spec names a supervised run: which workload, for how long, on what
@@ -149,6 +159,12 @@ func restore(snap *checkpoint.Snapshot) (*session, error) {
 	if !ok {
 		return nil, fmt.Errorf("workload: snapshot is of unknown workload %q", snap.Meta.Profile)
 	}
+	if snap.Meta.Seed != 0 {
+		// Fleet instances run the registry profile under a derived seed;
+		// rebuilding with the registry default would resume a different
+		// program. Zero means a pre-Seed-field snapshot: registry default.
+		p.Seed = snap.Meta.Seed
+	}
 	var plane *fault.Plane
 	if snap.Meta.Fault != nil {
 		plane = fault.NewPlane(*snap.Meta.Fault)
@@ -182,6 +198,7 @@ func (s *session) snapshot(fcfg *fault.Config) (*checkpoint.Snapshot, error) {
 	return &checkpoint.Snapshot{
 		Meta: checkpoint.Meta{
 			Profile:     s.p.Name,
+			Seed:        s.p.Seed,
 			TotalCycles: s.cycles,
 			Cycle:       m.Cycle(),
 			Machine:     m.Config(),
@@ -246,7 +263,11 @@ func (s *session) supervise(ctx context.Context, fcfg *fault.Config, sup Supervi
 
 	for m.Cycle() < stopAt {
 		chunk := stopAt - m.Cycle()
-		if dir != nil {
+		// Chunk at checkpoint ticks when anything observes chunk
+		// boundaries: the checkpoint writer, or a supervision layer's
+		// OnChunk hook (which must fire at the same cadence whether or
+		// not checkpoints are being written).
+		if dir != nil || sup.OnChunk != nil {
 			if nextTick := (m.Cycle()/every + 1) * every; nextTick < m.Cycle()+chunk {
 				chunk = nextTick - m.Cycle()
 			}
@@ -264,6 +285,9 @@ func (s *session) supervise(ctx context.Context, fcfg *fault.Config, sup Supervi
 		}
 		if res.Halted {
 			return nil, fmt.Errorf("workload %s: %w (kernel fatal)", s.p.Name, ErrUnexpectedHalt)
+		}
+		if sup.OnChunk != nil {
+			sup.OnChunk(m.Cycle())
 		}
 		if err := writeCkpt(); err != nil {
 			return nil, err
