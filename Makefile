@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint vaxlint sarif escape-truth test race soak farmsoak crash-consistency fuzz-smoke bench
+.PHONY: check build vet lint vaxlint sarif escape-truth test race soak farmsoak crash-consistency fuzz-smoke bench lint-bench
 
 check: build vet vaxlint escape-truth race soak farmsoak crash-consistency fuzz-smoke
 
@@ -22,7 +22,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# All thirteen analyzers, human-readable; vet is its own target above.
+# All seventeen analyzers, human-readable; vet is its own target above.
 vaxlint:
 	$(GO) run ./cmd/vaxlint -vet=false ./...
 
@@ -84,3 +84,10 @@ bench:
 	$(GO) test -bench . -benchtime 1x
 	$(GO) run ./cmd/vaxbench -out BENCH_step.json
 	$(GO) run ./cmd/vaxbench -farm -chaos "1@3" -out BENCH_farm.json
+
+# Analyzer-suite cost: one module load, then each of the seventeen
+# vaxlint analyzers timed over the whole tree with its findings count,
+# appended to the committed BENCH_lint.json ledger — the suite is big
+# enough that its own cost needs a trajectory.
+lint-bench:
+	$(GO) run ./cmd/vaxbench -lint -out BENCH_lint.json

@@ -8,8 +8,15 @@
 // enum switches — plus the µflow attribution proofs: every microword
 // counted on the channel its class permits (uwflow), no structurally
 // zero histogram bucket (uwdead), and per-row scoping of the exec files
-// (rowscope). It is a multichecker-style driver for the analyzers in
-// internal/analysis and is part of the tier-1 verify (Makefile `check`).
+// (rowscope) — the hot-path performance contract (hotpath/hotbox), and
+// the concflow concurrency contracts over the farm: every spawned
+// goroutine has a guaranteed exit path (goleak), every channel exactly
+// one closing owner with no send reachable after the close (chanprot),
+// every blocking op in context-carrying code cancellation-guarded
+// (ctxflow), and worker-owned state untouched outside its goroutine
+// until the merge barrier (onewriter). It is a multichecker-style
+// driver for the analyzers in internal/analysis and is part of the
+// tier-1 verify (Makefile `check`).
 //
 // Usage:
 //
@@ -64,6 +71,36 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
+// selectAnalyzers resolves a comma-separated -run spec against the
+// suite. An unknown or empty name is an error that lists the valid
+// names, so a typo exits 2 instead of silently running an empty (or
+// wrong) selection.
+func selectAnalyzers(spec string, all []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	names := make([]string, len(all))
+	for i, a := range all {
+		byName[a.Name] = a
+		names[i] = a.Name
+	}
+	valid := strings.Join(names, ", ")
+	var selected []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("empty analyzer name in -run %q; valid names: %s", spec, valid)
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q; valid names: %s", name, valid)
+		}
+		selected = append(selected, a)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("-run %q selected no analyzers; valid names: %s", spec, valid)
+	}
+	return selected, nil
+}
+
 func main() {
 	runVet := flag.Bool("vet", true, "also run the standard `go vet` passes")
 	list := flag.Bool("list", false, "list the analyzers and exit")
@@ -84,18 +121,9 @@ func main() {
 		return
 	}
 	if *runNames != "" {
-		byName := make(map[string]*analysis.Analyzer, len(analyzers))
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		var selected []*analysis.Analyzer
-		for _, name := range strings.Split(*runNames, ",") {
-			name = strings.TrimSpace(name)
-			a, ok := byName[name]
-			if !ok {
-				cli.Exitf(2, "vaxlint", "unknown analyzer %q (see -list)", name)
-			}
-			selected = append(selected, a)
+		selected, err := selectAnalyzers(*runNames, analyzers)
+		if err != nil {
+			cli.Exitf(2, "vaxlint", "%v", err)
 		}
 		analyzers = selected
 	}

@@ -170,14 +170,17 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 // analyzers from the original suite, the four determinism-contract
 // analyzers built on the fact layer, the three µflow attribution
 // analyzers built on the CFG + dataflow layer (cfg.go, dataflow.go,
-// uwmodel.go), and the two hot-path perf-contract analyzers built on the
-// callgraph's function-value and interface approximations (hotset.go).
+// uwmodel.go), the two hot-path perf-contract analyzers built on the
+// callgraph's function-value and interface approximations (hotset.go),
+// and the four concflow concurrency-contract analyzers built on the
+// goroutine/channel model (concmodel.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		ExecTable, UWRef, PaperConst, ProbeSafe,
 		Determinism, StateComplete, TypedErr, Exhaustive,
 		UWFlow, UWDead, RowScope,
 		HotPath, HotBox,
+		GoLeak, ChanProt, CtxFlow, OneWriter,
 	}
 }
 

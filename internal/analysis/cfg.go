@@ -315,7 +315,11 @@ func (b *cfgBuilder) findTarget(ts []jumpTarget, label *ast.Ident) *Block {
 // switchBody lowers switch/type-switch/select clause lists: every clause
 // is a block branching from the dispatch point, all clauses join after,
 // fallthrough chains a case into the next one, and a missing default adds
-// a dispatch→after edge.
+// a dispatch→after edge — for switches only. A select without a default
+// does not fall through: it blocks until an arm is ready, so its only
+// edges go to its arms, and the degenerate empty select{} has no
+// successor at all (everything after it is dead, which is exactly what
+// goleak reports).
 func (b *cfgBuilder) switchBody(s ast.Stmt, body *ast.BlockStmt, isSelect bool) {
 	dispatch := b.cur
 	if dispatch == nil {
@@ -369,7 +373,7 @@ func (b *cfgBuilder) switchBody(s ast.Stmt, body *ast.BlockStmt, isSelect bool) 
 			b.jumpTo(after)
 		}
 	}
-	if !hasDefault || len(clauseBlocks) == 0 {
+	if !isSelect && (!hasDefault || len(clauseBlocks) == 0) {
 		dispatch.Succs = append(dispatch.Succs, after)
 	}
 	b.breaks = popTargets(b.breaks)

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow extends the PR 3 cancellation contract from "Machine.RunCtx
+// exists" to "cancellation provably reaches every block point". In any
+// ctx-aware function — one with a context.Context parameter, or a method
+// whose receiver struct carries a context.Context field, as the farm's
+// workers do — every operation that can block forever must be
+// select-guarded so ctx.Done can preempt it:
+//
+//   - a channel send or receive outside any select
+//   - a select with neither a default arm nor a ctx.Done receive arm
+//   - ranging over a channel (ends only when someone closes it)
+//   - WaitGroup.Wait
+//
+// Receives that are themselves the cancellation signal (<-ctx.Done(),
+// or a variable assigned from ctx.Done()) and bounded waits
+// (<-time.After(d)) are exempt. The check is intraprocedural: each
+// ctx-aware body answers for its own block points; bodies without ctx
+// access have, by construction, no cancellation to propagate and are
+// someone else's contract. Where the protocol itself is the guarantee —
+// the worker's range over dispatch, whose closing owner is proved by
+// chanprot — a justified //vaxlint:allow ctxflow documents the argument.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "every blocking op in a ctx-aware function is select-guarded by ctx, bounded, or justified",
+	Run:  runCtxFlow,
+}
+
+type ctxChecker struct {
+	pass   *Pass
+	pkg    *Package
+	done   map[*types.Var]bool // vars assigned from ctx.Done()
+	inComm map[ast.Node]bool   // send/recv nodes that are select comm ops
+}
+
+func runCtxFlow(pass *Pass) error {
+	c := &ctxChecker{
+		pass:   pass,
+		pkg:    pass.Pkg,
+		done:   ctxDoneVars(pass.Pkg),
+		inComm: selectCommOps(pass.Pkg),
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.walkBody(fd.Body, c.subjectDecl(fd))
+		}
+	}
+	return nil
+}
+
+// subjectDecl reports whether a declared function is ctx-aware: a
+// context.Context parameter, or a receiver whose struct type holds a
+// context.Context field.
+func (c *ctxChecker) subjectDecl(fd *ast.FuncDecl) bool {
+	obj, _ := c.pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if signatureHasCtx(sig) {
+		return true
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := types.Unalias(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func signatureHasCtx(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkBody checks one function body; nested literals inherit the
+// enclosing subject-ness (a literal inside a ctx-aware body shares its
+// cancellation obligation) or establish their own via a ctx parameter.
+func (c *ctxChecker) walkBody(body *ast.BlockStmt, subject bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litSubject := subject
+			if sig, ok := c.pkg.Info.TypeOf(n).(*types.Signature); ok && signatureHasCtx(sig) {
+				litSubject = true
+			}
+			c.walkBody(n.Body, litSubject)
+			return false
+		case *ast.SelectStmt:
+			if subject && len(n.Body.List) > 0 && !c.guardedSelect(n) {
+				c.pass.Reportf(n.Pos(),
+					"select without a ctx.Done arm or default: cancellation cannot preempt whichever arm blocks (add case <-ctx.Done(), or //vaxlint:allow ctxflow)")
+			}
+		case *ast.SendStmt:
+			if subject && !c.inComm[n] {
+				c.pass.Reportf(n.Arrow,
+					"channel send can block past cancellation: wrap it in a select with a ctx.Done arm, or //vaxlint:allow ctxflow")
+			}
+		case *ast.UnaryExpr:
+			if subject && n.Op == token.ARROW && !c.inComm[n] && !c.exemptRecv(n.X) {
+				c.pass.Reportf(n.OpPos,
+					"channel receive can block past cancellation: wrap it in a select with a ctx.Done arm, or //vaxlint:allow ctxflow")
+			}
+		case *ast.RangeStmt:
+			if subject && isChanType(c.pkg.Info.TypeOf(n.X)) {
+				c.pass.Reportf(n.For,
+					"ranging over a channel blocks past cancellation: the loop ends only when the channel closes (receive in a ctx-guarded select, or //vaxlint:allow ctxflow)")
+			}
+		case *ast.CallExpr:
+			if subject && isWaitGroupWait(c.pkg.Info, n) {
+				c.pass.Reportf(n.Pos(),
+					"WaitGroup.Wait can block past cancellation: bound it (workers exiting on ctx/closed dispatch), or //vaxlint:allow ctxflow")
+			}
+		}
+		return true
+	})
+}
+
+// guardedSelect reports whether a select can always be preempted: a
+// default arm, or a receive arm on ctx.Done (direct call or done-var).
+func (c *ctxChecker) guardedSelect(sel *ast.SelectStmt) bool {
+	for _, cs := range sel.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		if u := commRecv(cc.Comm); u != nil && c.isDoneExpr(u.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptRecv reports whether receiving from e cannot outlive the
+// contract: the cancellation signal itself, or a bounded timer.
+func (c *ctxChecker) exemptRecv(e ast.Expr) bool {
+	if c.isDoneExpr(e) {
+		return true
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return timeFuncName(c.pkg.Info, call) == "After"
+	}
+	return false
+}
+
+// isDoneExpr reports whether e is ctx.Done() (a Done call on a
+// context.Context) or a variable assigned from one.
+func (c *ctxChecker) isDoneExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "Done" && isContextType(c.pkg.Info.TypeOf(sel.X))
+	case *ast.Ident:
+		v, ok := c.pkg.Info.Uses[e].(*types.Var)
+		return ok && c.done[v]
+	case *ast.SelectorExpr:
+		v, ok := c.pkg.Info.Uses[e.Sel].(*types.Var)
+		return ok && c.done[v]
+	}
+	return false
+}
+
+// ctxDoneVars collects every variable in pkg assigned from a ctx.Done()
+// call, so `doneC := ctx.Done(); <-doneC` counts as guarded.
+func ctxDoneVars(pkg *Package) map[*types.Var]bool {
+	done := make(map[*types.Var]bool)
+	isDoneCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "Done" && isContextType(pkg.Info.TypeOf(sel.X))
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if !isDoneCall(n.Rhs[i]) {
+						continue
+					}
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+						done[v] = true
+					} else if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						done[v] = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) && isDoneCall(n.Values[i]) {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							done[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return done
+}
+
+// selectCommOps collects the send/recv nodes that are comm operations of
+// any select in pkg: the select itself answers for them.
+func selectCommOps(pkg *Package) map[ast.Node]bool {
+	comms := make(map[ast.Node]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, cs := range sel.Body.List {
+				cc, ok := cs.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if s, ok := cc.Comm.(*ast.SendStmt); ok {
+					comms[s] = true
+				}
+				if u := commRecv(cc.Comm); u != nil {
+					comms[u] = true
+				}
+			}
+			return true
+		})
+	}
+	return comms
+}
+
+// commRecv extracts the receive expression of a select comm statement.
+func commRecv(comm ast.Stmt) *ast.UnaryExpr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if e == nil {
+		return nil
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u
+	}
+	return nil
+}

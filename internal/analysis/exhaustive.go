@@ -31,8 +31,9 @@ var Exhaustive = &Analyzer{
 }
 
 // enumPackages are the package names whose named integer types are
-// treated as closed enums.
-var enumPackages = map[string]bool{"fault": true, "cpu": true, "vmos": true}
+// treated as closed enums. farm joined for its outcome codes (Status:
+// completed/rescued/shed/paused, and the worker event kinds).
+var enumPackages = map[string]bool{"fault": true, "cpu": true, "vmos": true, "farm": true}
 
 func runExhaustive(pass *Pass) error {
 	for _, f := range pass.Pkg.Files {

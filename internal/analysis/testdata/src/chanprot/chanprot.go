@@ -1,0 +1,45 @@
+// Package chanprot is the golden fixture for the channel-protocol
+// analyzer: ownership, close-ordering, direction, and liveness
+// violations, one per function.
+package chanprot
+
+import "chanprot/sink"
+
+// DoubleOwner closes a channel that sink.CloseIt (per its concFact)
+// also closes: two owners, one panic away.
+func DoubleOwner() chan int {
+	ch := make(chan int) // want `channel has 2 closing owners`
+	go sink.Drain(ch)
+	close(ch)
+	sink.CloseIt(ch)
+	return ch
+}
+
+// SendAfterClose sends on a channel its own function already closed.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send reachable after the channel's close site`
+}
+
+// SelfDeadlock keeps every operation on one goroutine: the unbuffered
+// send can never find its receiver.
+func SelfDeadlock() {
+	ch := make(chan string)
+	ch <- "boom" // want `every operation runs on one goroutine`
+	<-ch
+}
+
+// NeverReceived sends on a channel nothing ever receives from.
+func NeverReceived() {
+	done := make(chan struct{})
+	done <- struct{}{} // want `sent to but never received`
+}
+
+// pump only ever sends on its bidirectional parameter: the declaration
+// should say chan<- so the compiler enforces it.
+func pump(ch chan int) { // want `declare it chan<-`
+	for i := 0; i < 3; i++ {
+		ch <- i
+	}
+}

@@ -1,0 +1,15 @@
+// Package sink gives chanprot cross-package callees whose channel
+// behavior is only visible through exported concFacts.
+package sink
+
+// Drain consumes the channel to exhaustion.
+func Drain(ch <-chan int) {
+	for range ch {
+	}
+}
+
+// CloseIt closes its argument: a second closing owner for any caller
+// that also closes.
+func CloseIt(ch chan<- int) {
+	close(ch)
+}

@@ -1,0 +1,15 @@
+// Package farm models the fleet's outcome codes for the exhaustive
+// fixture: Status is a closed enum with a Num* bound marker.
+package farm
+
+type Status int
+
+const (
+	StatusPending Status = iota
+	StatusRunning
+	StatusCompleted
+	StatusRescued
+	StatusShed
+	StatusPaused
+	NumStatuses
+)

@@ -1,0 +1,30 @@
+package exhaustive
+
+import "exhaustive/farm"
+
+// Outcome drops the two outcome codes a rescue can end in: silently
+// miscounted merges.
+func Outcome(s farm.Status) string {
+	switch s { // want `switch over farm\.Status is not exhaustive: missing StatusRescued, StatusShed`
+	case farm.StatusPending:
+		return "pending"
+	case farm.StatusRunning:
+		return "running"
+	case farm.StatusCompleted:
+		return "completed"
+	case farm.StatusPaused:
+		return "paused"
+	}
+	return "?"
+}
+
+// OutcomeAll covers every declared value (NumStatuses excluded): fine.
+func OutcomeAll(s farm.Status) bool {
+	switch s {
+	case farm.StatusPending, farm.StatusRunning:
+		return false
+	case farm.StatusCompleted, farm.StatusRescued, farm.StatusShed, farm.StatusPaused:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+// Package goleak is the golden fixture for the goroutine-lifetime
+// analyzer: each function spawns a goroutine with a different way of
+// never exiting.
+package goleak
+
+import "time"
+
+// Spin never leaves its loop: no exit edge at all.
+func Spin() {
+	go func() { // want `goroutine spawned here never exits`
+		for {
+		}
+	}()
+}
+
+// Pump loops over a select whose only arm continues the loop: the
+// worker-shaped leak — without a return arm the CFG cycle is
+// inescapable (a default-less select blocks, it does not fall through).
+func Pump(events chan int) {
+	go func() { // want `goroutine spawned here never exits`
+		for {
+			select {
+			case ev := <-events:
+				_ = ev
+			}
+		}
+	}()
+}
+
+// Consume ranges over a channel nothing in the module ever closes: the
+// range can never terminate.
+func Consume() {
+	feed := make(chan int)
+	go func() {
+		for v := range feed { // want `ranges over a channel no function in the module closes`
+			_ = v
+		}
+	}()
+	feed <- 1
+}
+
+// Stuck blocks forever by construction.
+func Stuck() {
+	go func() {
+		select {} // want `select\{\} in a spawned goroutine blocks forever`
+	}()
+}
+
+// Poll has a perfectly good exit arm — but arms a fresh timer every
+// iteration, stranding the previous one until it fires.
+func Poll(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-time.After(time.Millisecond): // want `time\.After inside a loop strands a live timer`
+				continue
+			case <-stop:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,37 @@
+// Package onewriter is the golden fixture for the single-writer
+// analyzer: a goroutine-owned tally read by the coordinator before the
+// Wait barrier.
+package onewriter
+
+// WaitGroup models sync.WaitGroup (matched by type name).
+type WaitGroup struct{}
+
+func (g *WaitGroup) Add(int) {}
+func (g *WaitGroup) Done()   {}
+func (g *WaitGroup) Wait()   {}
+
+type tally struct{ n int }
+
+func (t *tally) bump() { t.n++ }
+
+type crew struct {
+	local *tally
+	done  *WaitGroup
+}
+
+// Race reads the crew's tally after the spawn but before the Wait: it
+// races the owning goroutine's writes. The read after Wait is fine.
+func Race() int {
+	wg := &WaitGroup{}
+	crews := []*crew{{local: &tally{}, done: wg}}
+	wg.Add(1)
+	go crews[0].work()
+	early := crews[0].local.n // want `has no Wait barrier between the spawn and here`
+	wg.Wait()
+	return early + crews[0].local.n
+}
+
+func (c *crew) work() {
+	c.local.bump()
+	c.done.Done()
+}

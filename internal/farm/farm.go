@@ -335,6 +335,10 @@ func (f *Farm) Run(ctx context.Context) (*Result, error) {
 		delayed     []delayedRetry
 		paused      bool
 		pauseCause  error
+		// One reusable retry timer for the whole loop: a time.After per
+		// iteration would strand a live timer every pass until it fired
+		// (the goleak analyzer's stranded-timer rule).
+		retryTimer *time.Timer
 	)
 	shed := func(inst *instance, cause string, cycle uint64) {
 		inst.status = StatusShed
@@ -377,7 +381,20 @@ func (f *Farm) Run(ctx context.Context) (*Result, error) {
 					next = d.at
 				}
 			}
-			timerC = time.After(time.Until(next))
+			if retryTimer == nil {
+				retryTimer = time.NewTimer(time.Until(next))
+			} else {
+				// Stop+drain before Reset: if the timer fired while we were
+				// in another arm, its tick is still sitting in C.
+				if !retryTimer.Stop() {
+					select {
+					case <-retryTimer.C:
+					default:
+					}
+				}
+				retryTimer.Reset(time.Until(next))
+			}
+			timerC = retryTimer.C
 		}
 		var doneC <-chan struct{}
 		if !paused {
@@ -459,7 +476,11 @@ func (f *Farm) Run(ctx context.Context) (*Result, error) {
 			}
 		}
 	}
+	if retryTimer != nil {
+		retryTimer.Stop()
+	}
 	close(dispatch)
+	//vaxlint:allow ctxflow -- bounded: dispatch just closed above, so every worker falls out of its range loop after at most one in-flight attempt, and attempts themselves are ctx-supervised via workload.RunSupervised.
 	wg.Wait()
 
 	res := f.merge(workers, resumed, resumedCycles)

@@ -130,6 +130,7 @@ func TestFarmWorkerCountInvariance(t *testing.T) {
 // composite and per profile — are still bit-identical to the unperturbed
 // same-seed run. Rescue must not perturb results.
 func TestFarmChaosRescue(t *testing.T) {
+	defer checkGoroutineLeak(t)()
 	var sched [fault.NumPoints]fault.Schedule
 	sched[fault.CacheParity] = fault.Schedule{Every: 120_000}
 	sched[fault.TBParity] = fault.Schedule{Every: 170_000}
@@ -182,6 +183,7 @@ func TestFarmChaosRescue(t *testing.T) {
 // instances into the ledger — with causes — and reports the typed
 // *PoolExhausted, instead of hanging or merging partial counts.
 func TestFarmPoolExhaustion(t *testing.T) {
+	defer checkGoroutineLeak(t)()
 	cfg := testConfig(t, 2)
 	cfg.Kills = []Kill{{Worker: 0, AfterChunks: 2}, {Worker: 1, AfterChunks: 3}}
 	f, err := New(cfg)
