@@ -12,9 +12,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint vaxlint sarif escape-truth test race soak farmsoak crash-consistency fuzz-smoke bench lint-bench
+.PHONY: check build vet lint vaxlint sarif escape-truth latency latency-truth test race soak farmsoak crash-consistency fuzz-smoke bench lint-bench
 
-check: build vet vaxlint escape-truth race soak farmsoak crash-consistency fuzz-smoke
+check: build vet vaxlint escape-truth latency-truth race soak farmsoak crash-consistency fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# All seventeen analyzers, human-readable; vet is its own target above.
+# All eighteen analyzers, human-readable; vet is its own target above.
 vaxlint:
 	$(GO) run ./cmd/vaxlint -vet=false ./...
 
@@ -42,6 +42,19 @@ lint:
 # internal/analysis/escape_truth_test.go).
 escape-truth:
 	$(GO) test -run TestEscapeGroundTruth ./internal/analysis
+
+# Latency oracle (DESIGN.md §16): regenerate the committed LATENCY.md +
+# latency.json from the microroutines.
+latency:
+	$(GO) run ./cmd/vaxlat
+
+# Latency oracle drift gate: re-derive the table in memory and diff both
+# committed files (a one-cycle microroutine change fails here), then run
+# the dynamic cross-check — every registered opcode and addressing mode
+# single-stepped on a real machine must land inside its static bounds.
+latency-truth:
+	$(GO) run ./cmd/vaxlat -check
+	$(GO) test -run 'TestLatency' ./internal/experiments
 
 test:
 	$(GO) test ./...
@@ -85,7 +98,7 @@ bench:
 	$(GO) run ./cmd/vaxbench -out BENCH_step.json
 	$(GO) run ./cmd/vaxbench -farm -chaos "1@3" -out BENCH_farm.json
 
-# Analyzer-suite cost: one module load, then each of the seventeen
+# Analyzer-suite cost: one module load, then each of the eighteen
 # vaxlint analyzers timed over the whole tree with its findings count,
 # appended to the committed BENCH_lint.json ledger — the suite is big
 # enough that its own cost needs a trajectory.

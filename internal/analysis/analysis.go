@@ -25,6 +25,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Analyzer describes one static check.
@@ -95,9 +96,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // finding, sorted by file position. A non-nil error means an analyzer
 // itself failed, not that it found problems.
 //
-// Package-level analyzers run over pkgs in slice order, which the loader
-// guarantees is dependency order; facts exported while analyzing a
-// package are therefore visible in every pass over its importers.
+// The analyzers run concurrently, one goroutine per analyzer: the suite
+// shares only immutable inputs (the type-checked packages, the allow
+// index), facts never cross analyzers (each gets a private factStore),
+// and each goroutine appends to a private diagnostic slice merged after
+// the barrier. What CANNOT be parallelized is the fact-dependency order
+// inside one analyzer: package-level analyzers visit pkgs in slice
+// order, which the loader guarantees is dependency order, so facts
+// exported while analyzing a package are visible in every pass over its
+// importers. Total output order is independent of scheduling — the
+// merged findings are sorted by position with analyzer name and message
+// as tiebreakers, a total order (the previous serial implementation
+// left same-position ties to sort.Slice's whim).
+//
 // Each pass positions its diagnostics with its own package's FileSet —
 // a load whose packages span several FileSets (hand-assembled inputs)
 // must not silently borrow pkgs[0]'s, or a diagnostic could name the
@@ -134,26 +145,24 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 	}
 
-	for _, a := range analyzers {
-		if a.ModuleLevel {
-			if sharedFset == nil {
-				return diags, fmt.Errorf("%s: module-level analyzer over packages with distinct FileSets", a.Name)
-			}
-			pass := &Pass{Analyzer: a, Fset: sharedFset, All: pkgs, diags: &diags, allows: allows}
-			if err := a.Run(pass); err != nil {
-				return diags, fmt.Errorf("%s: %w", a.Name, err)
-			}
-			continue
-		}
-		facts := make(factStore)
-		for _, pkg := range pkgs {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, All: pkgs, diags: &diags, facts: facts, allows: allows}
-			if err := a.Run(pass); err != nil {
-				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-			}
+	perDiags := make([][]Diagnostic, len(analyzers))
+	perErrs := make([]error, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			perDiags[i], perErrs[i] = runOne(a, pkgs, sharedFset, allows)
+		}(i, a)
+	}
+	wg.Wait()
+	for i := range analyzers {
+		diags = append(diags, perDiags[i]...)
+		if perErrs[i] != nil {
+			return diags, perErrs[i] // first failure in suite order
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
+	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
@@ -161,8 +170,40 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
+	return diags, nil
+}
+
+// runOne is one analyzer's complete run over the load: every package in
+// dependency order for package-level analyzers, one whole-load pass for
+// module-level ones. It touches nothing shared but its read-only inputs,
+// which is what lets Run fan the suite out.
+func runOne(a *Analyzer, pkgs []*Package, sharedFset *token.FileSet, allows allowIndex) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	if a.ModuleLevel {
+		if sharedFset == nil {
+			return nil, fmt.Errorf("%s: module-level analyzer over packages with distinct FileSets", a.Name)
+		}
+		pass := &Pass{Analyzer: a, Fset: sharedFset, All: pkgs, diags: &diags, allows: allows}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		return diags, nil
+	}
+	facts := make(factStore)
+	for _, pkg := range pkgs {
+		pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, All: pkgs, diags: &diags, facts: facts, allows: allows}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
 	return diags, nil
 }
 
@@ -172,8 +213,10 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 // analyzers built on the CFG + dataflow layer (cfg.go, dataflow.go,
 // uwmodel.go), the two hot-path perf-contract analyzers built on the
 // callgraph's function-value and interface approximations (hotset.go),
-// and the four concflow concurrency-contract analyzers built on the
-// goroutine/channel model (concmodel.go).
+// the four concflow concurrency-contract analyzers built on the
+// goroutine/channel model (concmodel.go), and the ulat latency-oracle
+// derivation (ulat.go) that pins every microroutine's static cycle
+// bounds.
 func All() []*Analyzer {
 	return []*Analyzer{
 		ExecTable, UWRef, PaperConst, ProbeSafe,
@@ -181,6 +224,7 @@ func All() []*Analyzer {
 		UWFlow, UWDead, RowScope,
 		HotPath, HotBox,
 		GoLeak, ChanProt, CtxFlow, OneWriter,
+		ULat,
 	}
 }
 

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vax780/internal/latency"
+)
+
+// TestLatencyTruth re-derives the static latency table from the real
+// module and demands the committed latency.json be byte-identical — the
+// static half of the oracle's drift gate (the rendered LATENCY.md is
+// diffed by `vaxlat -check` in CI and `make latency-truth`). A
+// one-cycle change to any microroutine moves its bounds, fails this
+// test, and forces the regenerated table into review; an opcode whose
+// bounds stop being derivable is a finding and fails the same way.
+func TestLatencyTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and re-derives the whole module")
+	}
+	root := moduleRootDir(t)
+	pkgs, err := LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, diags, err := DeriveLatencyTable(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("derivation finding (underivable bounds make an invalid oracle): %s", d)
+	}
+	if len(tab.Opcodes) == 0 {
+		t.Fatal("derivation produced an empty opcode table; the registration scan is broken")
+	}
+
+	want, err := tab.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(root, latency.File))
+	if err != nil {
+		t.Fatalf("committed table: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("committed %s drifted from the microroutines; regenerate with `go run ./cmd/vaxlat` and review the diff", latency.File)
+	}
+}

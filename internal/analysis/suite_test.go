@@ -102,8 +102,8 @@ func TestConcClean(t *testing.T) {
 // TestSuiteSize pins the suite's advertised size: growing it without
 // updating the docs (README, Makefile) should fail loudly here.
 func TestSuiteSize(t *testing.T) {
-	if got := len(analysis.All()); got != 17 {
-		t.Fatalf("analysis.All() reports %d analyzers, want 17", got)
+	if got := len(analysis.All()); got != 18 {
+		t.Fatalf("analysis.All() reports %d analyzers, want 18", got)
 	}
 }
 

@@ -1,0 +1,21 @@
+// Package bank hosts a microword handle and a counting helper in a
+// separate package, so the ulat fixture's word flow and row check cross
+// a package boundary the way internal/cpu's shared helpers do.
+package bank
+
+import "uwucode"
+
+type Machine struct{ counts map[uint16]uint64 }
+
+func (m *Machine) tick(w uint16) { m.counts[w]++ }
+
+var cs = uwucode.NewStore()
+
+var Words = struct {
+	Fl uint16
+}{
+	Fl: cs.Define("bank.fl", uwucode.RowFloat, uwucode.ClassCompute),
+}
+
+// Spill counts whatever word flows in.
+func Spill(m *Machine, w uint16) { m.tick(w) }

@@ -1,0 +1,30 @@
+// Package ulat seeds latency-derivation findings for the ulat analyzer:
+// a handler expression the resolver cannot see through, a tick count
+// that is not a compile-time constant, and a word counted outside its
+// opcode's Table 8 row — that last one arriving through a cross-package
+// helper, so the word set and the row check ride the same flow the real
+// tree's shared microroutines use.
+package ulat
+
+import "uwucode"
+
+type Machine struct {
+	counts map[uint16]uint64
+	r0     int
+}
+
+func (m *Machine) tick(w uint16)            { m.counts[w]++ }
+func (m *Machine) ticks(w uint16, n uint64) { m.counts[w] += n }
+func (m *Machine) stall(w uint16, c uint64) {}
+
+var cs = uwucode.NewStore()
+
+func def(name string, row uwucode.Row, class uwucode.Class) uint16 {
+	return cs.Define(name, row, class)
+}
+
+var uw = struct {
+	op uint16
+}{
+	op: def("ulat.op", uwucode.RowSimple, uwucode.ClassCompute),
+}

@@ -1,0 +1,27 @@
+package ulat
+
+type Op uint8
+type Group uint8
+
+const (
+	GroupSimple Group = iota
+	GroupFloat
+)
+
+const (
+	TICKX Op = iota
+	TABX
+	ROWX
+)
+
+type OpInfo struct {
+	Code  Op
+	Name  string
+	Group Group
+}
+
+var opTable = []OpInfo{
+	{TICKX, "TICKX", GroupSimple},
+	{TABX, "TABX", GroupSimple},
+	{ROWX, "ROWX", GroupSimple},
+}

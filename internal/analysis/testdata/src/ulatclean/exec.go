@@ -1,0 +1,55 @@
+package ulatclean
+
+type execFn func(*Machine)
+
+var execTable [8]execFn
+
+func register(op Op, fn execFn) { execTable[op] = fn }
+
+func init() {
+	register(ADDX, execAdd)
+	register(DBLX, execDbl)
+	register(LOOPX, execLoop)
+	register(FACTX, makeTicker(3))
+	for _, op := range []Op{PAIRX, QUADX} {
+		register(op, execAdd)
+	}
+}
+
+// execAdd is the straight line: one compute, one result write, and a
+// SPEC1-row dispatch word, which the shared-row policy admits in any
+// opcode's word set.
+func execAdd(m *Machine) {
+	m.tick(uw.op)
+	m.tick(uw.spec)
+	m.tick(uw.wr)
+	m.stall(uw.wr, 1)
+}
+
+// execDbl branches: the short path costs one compute, the long path two.
+func execDbl(m *Machine) {
+	if m.r0 > 0 {
+		m.tick(uw.op)
+		m.tick(uw.op)
+	} else {
+		m.tick(uw.op)
+	}
+}
+
+// execLoop is the data-dependent case: the iteration count comes from
+// machine state, so the compute cost appears as a loop term, not a
+// bound.
+func execLoop(m *Machine) {
+	n := m.r0
+	for i := 0; i < n; i++ {
+		m.tick(uw.step)
+	}
+}
+
+// makeTicker is a factory handler: the constant flows through the
+// closure and folds into an exact bound.
+func makeTicker(k int) execFn {
+	return func(m *Machine) {
+		m.ticks(uw.op, uint64(k))
+	}
+}

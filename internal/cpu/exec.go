@@ -31,6 +31,20 @@ func register(op vax.Opcode, fn execFn) {
 	execTable[op] = fn
 }
 
+// RegisteredOpcodes returns the opcodes with an execute microroutine, in
+// ascending code order. The latency oracle (cmd/vaxlat, DESIGN.md §16)
+// sweeps exactly this set: its committed table must cover every entry,
+// and cover nothing else.
+func RegisteredOpcodes() []vax.Opcode {
+	var ops []vax.Opcode
+	for code := 0; code < len(execTable); code++ {
+		if execTable[code] != nil {
+			ops = append(ops, vax.Opcode(code))
+		}
+	}
+	return ops
+}
+
 // StepInstruction runs one complete VAX instruction: interrupt check,
 // decode (one non-overlapped cycle), specifier processing, execute phase.
 func (m *Machine) StepInstruction() {
